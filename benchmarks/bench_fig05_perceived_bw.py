@@ -1,0 +1,40 @@
+"""Figure 5: perceived bandwidth under uniform noise, hot cache.
+
+Paper shape: 0% noise gives a traditional bandwidth curve; with noise the
+perceived bandwidth rises past the physical link rate, peaks near ~1 MiB,
+then declines sharply once a single partition saturates the wire; higher
+partition counts raise the peak; 16→32 declines at 10 ms compute but not
+at 100 ms.
+"""
+
+from conftest import emit, full_mode
+
+from repro.core import fig5_perceived_bandwidth, metric_table
+
+
+def test_fig05_perceived_bandwidth(figure_bench):
+    panels = figure_bench(fig5_perceived_bandwidth, quick=not full_mode())
+    text_parts = []
+    for (pct, comp), sweep in panels.items():
+        text_parts.append(metric_table(
+            sweep, "perceived_bandwidth",
+            title=f"Fig 5 — Perceived bandwidth (GB/s), uniform "
+                  f"{pct:g}% noise, {comp * 1e3:g}ms compute"))
+    emit("fig05_perceived_bw", "\n\n".join(text_parts))
+
+    noisy = panels[(4.0, 0.010)]
+    sizes = noisy.message_sizes
+    mid = min(sizes, key=lambda m: abs(m - (1 << 20)))
+    # Rise → peak → decline, and the peak beats the wire rate.
+    assert noisy.value("perceived_bandwidth", mid, 16) > \
+        noisy.value("perceived_bandwidth", sizes[0], 16)
+    assert noisy.value("perceived_bandwidth", mid, 16) > \
+        noisy.value("perceived_bandwidth", sizes[-1], 16)
+    assert noisy.value("perceived_bandwidth", mid, 16) > 11e9
+    # 16 -> 32 partitions declines at 10 ms...
+    assert noisy.value("perceived_bandwidth", mid, 32) < \
+        noisy.value("perceived_bandwidth", mid, 16)
+    # ...but not at 100 ms.
+    slow = panels[(4.0, 0.100)]
+    assert slow.value("perceived_bandwidth", mid, 32) >= \
+        0.95 * slow.value("perceived_bandwidth", mid, 16)

@@ -1,0 +1,44 @@
+"""Figure 7: availability per noise model at 16 partitions, 4% noise.
+
+Paper shape: the single-thread delay model gives the best availability
+(only the delayed thread suffers); uniform and Gaussian arrival imbalance
+is smaller per thread, so less early-bird opportunity exists and
+availability is lower — most visibly at mid/large sizes in our model.
+"""
+
+from conftest import emit, full_mode
+
+from repro.core import fig7_noise_models
+from repro.core.report import ascii_table, format_bytes
+
+
+def test_fig07_noise_models(figure_bench):
+    panels = figure_bench(fig7_noise_models, quick=not full_mode())
+    parts = []
+    checks = {}
+    for comp, by_model in panels.items():
+        sizes = next(iter(by_model.values())).message_sizes
+        headers = ["model"] + [format_bytes(m) for m in sizes]
+        rows = []
+        for model, sweep in by_model.items():
+            series = dict(sweep.series("application_availability")[16])
+            rows.append([model] + [f"{series[m]:.3f}" for m in sizes])
+            checks[(comp, model)] = series
+        parts.append(ascii_table(
+            headers, rows,
+            title=f"Fig 7 — Availability by noise model, 16 partitions, "
+                  f"4% noise, {comp * 1e3:g}ms compute"))
+    emit("fig07_noise_models", "\n\n".join(parts))
+
+    for comp in panels:
+        sizes = sorted(checks[(comp, "single")])
+        for m in sizes:
+            assert checks[(comp, "single")][m] >= \
+                checks[(comp, "uniform")][m] - 0.05
+            # Gaussian draws are double-sided (early *and* late threads),
+            # which in our model widens the drain window enough to beat
+            # the single-delay model at the very largest sizes — a
+            # documented deviation; the paper's ordering holds below that.
+            if m <= 4 << 20:
+                assert checks[(comp, "single")][m] >= \
+                    checks[(comp, "gaussian")][m] - 0.05

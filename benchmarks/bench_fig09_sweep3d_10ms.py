@@ -1,0 +1,50 @@
+"""Figure 9: Sweep3D communication throughput, 10 ms compute, 4% single
+noise, hot cache.
+
+Paper shape: partitioned ≈ point-to-point for small/medium messages; the
+gap grows with message size; multi-threaded MULTIPLE falls below
+single-threaded; partitioned ends up an order of magnitude above
+single-threaded at the largest size (15.1x on Niagara — this factor feeds
+the Figure 13 projection).
+"""
+
+from conftest import emit, full_mode
+
+from repro.core import series_table
+from repro.patterns import (CommMode, PatternConfig, Sweep3DGrid,
+                            throughput_series)
+
+GRID = Sweep3DGrid(3, 3)
+SIZES_QUICK = (65536, 1 << 20, 4 << 20, 16 << 20)
+SIZES_FULL = tuple(64 * 4 ** k for k in range(5, 10))
+
+
+def _series(compute_seconds: float):
+    base = PatternConfig(mode=CommMode.SINGLE, threads=16,
+                         message_bytes=SIZES_QUICK[0],
+                         compute_seconds=compute_seconds,
+                         steps=4 if not full_mode() else 8,
+                         iterations=2 if not full_mode() else 5,
+                         warmup=1)
+    sizes = SIZES_FULL if full_mode() else SIZES_QUICK
+    return throughput_series("sweep3d", base, sizes, grid=GRID)
+
+
+def test_fig09_sweep3d_10ms(figure_bench):
+    series = figure_bench(_series, 0.010)
+    text = series_table(
+        series, value_label="GB/s", scale=1e-9,
+        title="Fig 9 — Sweep3D comm throughput, 16 threads, 10ms compute, "
+              "4% single noise")
+    emit("fig09_sweep3d_10ms", text)
+
+    single = dict(series["single"])
+    multi = dict(series["multi"])
+    part = dict(series["partitioned"])
+    sizes = sorted(single)
+    # Divergence grows with size; partitioned dominates at the top end.
+    assert part[sizes[-1]] / single[sizes[-1]] > \
+        part[sizes[0]] / single[sizes[0]]
+    assert part[sizes[-1]] > 5 * single[sizes[-1]]
+    # MULTIPLE falls below single-threaded somewhere in the range.
+    assert any(multi[m] < single[m] for m in sizes)

@@ -1,0 +1,34 @@
+"""Figure 10: Sweep3D communication throughput, 100 ms compute.
+
+Paper shape: same trends as Figure 9 but throughput drops with the larger
+compute, and the point where partitioned diverges from point-to-point
+moves to larger message sizes.
+"""
+
+from bench_fig09_sweep3d_10ms import _series
+from conftest import emit
+
+from repro.core import series_table
+
+
+def test_fig10_sweep3d_100ms(figure_bench):
+    fast = _series(0.010)
+    slow = figure_bench(_series, 0.100)
+    text = series_table(
+        slow, value_label="GB/s", scale=1e-9,
+        title="Fig 10 — Sweep3D comm throughput, 16 threads, 100ms "
+              "compute, 4% single noise")
+    emit("fig10_sweep3d_100ms", text)
+
+    single = dict(slow["single"])
+    part = dict(slow["partitioned"])
+    sizes = sorted(single)
+    # Throughput drops relative to the 10 ms panel.
+    fast_part = dict(fast["partitioned"])
+    assert all(part[m] < fast_part[m] for m in sizes)
+    # Partitioned still wins at the top end, by a smaller factor
+    # (the divergence point moved right).
+    top = sizes[-1]
+    assert part[top] > 2 * single[top]
+    assert part[top] / single[top] < \
+        fast_part[top] / dict(fast["single"])[top]

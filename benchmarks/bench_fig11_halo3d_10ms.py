@@ -1,0 +1,58 @@
+"""Figure 11: Halo3D communication throughput, 10 ms compute, 4% single
+noise, hot cache.
+
+Panels: (a) 8 threads → 2x2 = 4 partitions per face; (b) 64 threads
+(oversubscribed on 40 cores) → 4x4 = 16 partitions per face.
+
+Paper shape: at 4 partitions every threading mode performs about the same;
+at 64 threads the modes separate, multi-threaded point-to-point landing
+close to partitioned at large sizes, and oversubscription costs tens of
+percent of wall throughput.
+"""
+
+from conftest import emit, full_mode
+
+from repro.core import series_table
+from repro.patterns import (CommMode, Halo3DGrid, PatternConfig,
+                            throughput_series)
+
+GRID = Halo3DGrid(2, 2, 2)
+SIZES_QUICK = (65536, 1 << 20, 4 << 20, 16 << 20)
+SIZES_FULL = tuple(64 * 4 ** k for k in range(5, 10))
+
+
+def _series(threads: int, compute_seconds: float):
+    base = PatternConfig(mode=CommMode.SINGLE, threads=threads,
+                         message_bytes=SIZES_QUICK[0],
+                         compute_seconds=compute_seconds,
+                         steps=2 if not full_mode() else 4,
+                         iterations=2 if not full_mode() else 5,
+                         warmup=1)
+    sizes = SIZES_FULL if full_mode() else SIZES_QUICK
+    return throughput_series("halo3d", base, sizes, grid=GRID)
+
+
+def test_fig11_halo3d_10ms(figure_bench):
+    panel_a = figure_bench(_series, 8, 0.010)
+    panel_b = _series(64, 0.010)
+    text = "\n\n".join([
+        series_table(panel_a, value_label="GB/s", scale=1e-9,
+                     title="Fig 11a — Halo3D comm throughput, 8 threads "
+                           "(4 partitions/face), 10ms"),
+        series_table(panel_b, value_label="GB/s", scale=1e-9,
+                     title="Fig 11b — Halo3D comm throughput, 64 threads "
+                           "oversubscribed (16 partitions/face), 10ms"),
+    ])
+    emit("fig11_halo3d_10ms", text)
+
+    # Panel (a): all modes within a narrow band.
+    sizes = sorted(dict(panel_a["single"]))
+    for m in sizes:
+        values = [dict(panel_a[mode])[m]
+                  for mode in ("single", "multi", "partitioned")]
+        assert max(values) < 2.0 * min(values)
+    # Panel (b): partitioned ahead of multi, close at the largest size.
+    top = sizes[-1]
+    assert dict(panel_b["partitioned"])[top] > dict(panel_b["multi"])[top]
+    assert dict(panel_b["partitioned"])[top] < \
+        2.0 * dict(panel_b["multi"])[top]

@@ -1,0 +1,69 @@
+"""Simulator-kernel micro-benchmarks.
+
+Not a paper figure: these guard the substrate's own performance, since
+every figure reproduction pays the kernel's event-dispatch cost.  They use
+pytest-benchmark's normal multi-round timing (the operations are cheap).
+"""
+
+from repro.core import PtpBenchmarkConfig, run_ptp_benchmark
+from repro.sim import Simulator, Store
+
+
+def test_kernel_timeout_dispatch(benchmark):
+    def run():
+        sim = Simulator()
+        for _ in range(1000):
+            sim.timeout(1.0)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 1000
+
+
+def test_kernel_process_switching(benchmark):
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(100):
+                yield sim.timeout(1.0)
+
+        for _ in range(10):
+            sim.process(proc())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == 100.0
+
+
+def test_kernel_store_handoff(benchmark):
+    def run():
+        sim = Simulator()
+        store = Store(sim)
+
+        def producer():
+            for i in range(500):
+                yield sim.timeout(0.001)
+                store.put(i)
+
+        def consumer():
+            total = 0
+            for _ in range(500):
+                total += yield store.get()
+            return total
+
+        sim.process(producer())
+        c = sim.process(consumer())
+        sim.run()
+        return c.value
+
+    assert benchmark(run) == sum(range(500))
+
+
+def test_end_to_end_trial_cost(benchmark):
+    """One full micro-benchmark trial (the unit every sweep repeats)."""
+    cfg = PtpBenchmarkConfig(message_bytes=1 << 16, partitions=8,
+                             compute_seconds=1e-3, iterations=1, warmup=0)
+
+    result = benchmark(run_ptp_benchmark, cfg)
+    assert result.samples

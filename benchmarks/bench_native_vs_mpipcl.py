@@ -1,0 +1,69 @@
+"""Extension: MPIPCL vs an idealized native partitioned implementation.
+
+The paper (§4.6, §6) repeatedly notes its results are bounded by MPIPCL —
+a layered library on top of point-to-point — and that a well-optimized
+native implementation should do better.  Our substrate carries both: the
+MPIPCL model (per-partition internal isends, lock-protected pready) and an
+idealized native one (lock-free doorbell pready, RDMA-write partitions,
+no per-partition rendezvous).  This bench quantifies the headroom the
+paper conjectures.
+"""
+
+from conftest import emit
+
+from repro.core import (PtpBenchmarkConfig, ascii_table, format_bytes,
+                        run_ptp_benchmark)
+from repro.noise import UniformNoise
+from repro.partitioned import IMPL_MPIPCL, IMPL_NATIVE
+
+
+def _overhead(m, n, impl):
+    cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n, impl=impl,
+                             compute_seconds=0.002, iterations=3, warmup=1)
+    return run_ptp_benchmark(cfg).overhead.mean
+
+
+def _availability(m, n, impl):
+    cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n, impl=impl,
+                             compute_seconds=0.010,
+                             noise=UniformNoise(4.0),
+                             iterations=5, warmup=1)
+    return run_ptp_benchmark(cfg).application_availability.mean
+
+
+def test_native_vs_mpipcl(figure_bench):
+    sizes = (256, 65536, 1 << 20, 16 << 20)
+
+    def run():
+        out = {}
+        for m in sizes:
+            out[m] = {
+                "mpipcl_ovh": _overhead(m, 16, IMPL_MPIPCL),
+                "native_ovh": _overhead(m, 16, IMPL_NATIVE),
+                "mpipcl_avail": _availability(m, 16, IMPL_MPIPCL),
+                "native_avail": _availability(m, 16, IMPL_NATIVE),
+            }
+        return out
+
+    results = figure_bench(run)
+    rows = []
+    for m, r in results.items():
+        rows.append([
+            format_bytes(m),
+            f"{r['mpipcl_ovh']:.2f}", f"{r['native_ovh']:.2f}",
+            f"{r['mpipcl_avail']:.3f}", f"{r['native_avail']:.3f}",
+        ])
+    text = ascii_table(
+        ["message", "MPIPCL ovh (x)", "native ovh (x)",
+         "MPIPCL avail", "native avail"],
+        rows,
+        title="Extension — MPIPCL vs idealized native, 16 partitions")
+    emit("native_vs_mpipcl", text)
+
+    for m, r in results.items():
+        # A native implementation never does worse...
+        assert r["native_ovh"] <= r["mpipcl_ovh"] * 1.05
+        assert r["native_avail"] >= r["mpipcl_avail"] - 0.05
+    # ...and for latency-bound small messages the lock-free doorbell
+    # shaves a large share of the per-partition cost.
+    assert results[256]["native_ovh"] < 0.6 * results[256]["mpipcl_ovh"]

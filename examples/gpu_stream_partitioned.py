@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Device-triggered partitioned communication (the paper's §6.1 future work).
+
+The paper closes by noting that upcoming MPI Partitioned proposals invoke
+``MPI_Pready`` from accelerator compute kernels or task queues
+(``sycl::queue`` / ``cudaStream_t``).  This example prototypes that on the
+simulated substrate: each kernel on an in-order device stream computes one
+partition and — on completion — fires a lock-free native ``pready``
+straight from the device timeline, with no host thread in the loop.
+
+It compares the device-triggered pipeline against the host-threaded
+fork-join version of the same transfer.
+
+Run:  python examples/gpu_stream_partitioned.py
+"""
+
+from repro.core import format_seconds
+from repro.mpi import Cluster
+from repro.partitioned import IMPL_NATIVE
+from repro.threadsim import DeviceStream
+
+MESSAGE = 8 << 20
+PARTITIONS = 8
+KERNEL_TIME = 2e-3  # per-partition kernel duration
+
+
+def device_program(ctx):
+    """Sender rank 0 drives a stream; receiver rank 1 just waits."""
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 5, MESSAGE, PARTITIONS,
+                                        impl=IMPL_NATIVE)
+        yield from ps.start(main)
+        stream = DeviceStream(ctx)
+        t0 = ctx.sim.now
+
+        def trigger(i):
+            def run():
+                yield from ps.pready(stream.device_tc, i)
+            return run
+
+        for i in range(PARTITIONS):
+            yield from stream.launch(main, KERNEL_TIME,
+                                     name=f"compute_partition_{i}",
+                                     on_complete=trigger(i))
+        # The host is free here — overlap anything you like — then sync.
+        yield from stream.synchronize(main)
+        yield from ps.wait(main)
+        return ctx.sim.now - t0
+    pr = yield from comm.precv_init(main, 0, 5, MESSAGE, PARTITIONS,
+                                    impl=IMPL_NATIVE)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return ctx.sim.now
+
+
+def host_program(ctx):
+    """The classic host-side version: fork threads, compute, pready."""
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 5, MESSAGE, PARTITIONS,
+                                        impl=IMPL_NATIVE)
+        yield from ps.start(main)
+        t0 = ctx.sim.now
+
+        def worker(tc):
+            yield from tc.compute(KERNEL_TIME)
+            yield from ps.pready(tc, tc.thread_id)
+
+        team = yield from ctx.fork(PARTITIONS, worker)
+        yield from team.join()
+        yield from ps.wait(main)
+        return ctx.sim.now - t0
+    pr = yield from comm.precv_init(main, 0, 5, MESSAGE, PARTITIONS,
+                                    impl=IMPL_NATIVE)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return ctx.sim.now
+
+
+def main() -> None:
+    device = Cluster(nranks=2, seed=1).run(device_program)[0]
+    host = Cluster(nranks=2, seed=1).run(host_program)[0]
+    print(f"{MESSAGE >> 20} MiB in {PARTITIONS} partitions, "
+          f"{KERNEL_TIME * 1e3:g} ms per partition kernel\n")
+    print(f"  device-triggered (in-order stream): {format_seconds(device)}")
+    print(f"  host fork-join (parallel threads):  {format_seconds(host)}")
+    print(
+        "\nreading: the in-order stream serializes kernels, so its total\n"
+        "compute is N x kernel time — but every partition ships the\n"
+        "moment its kernel retires, so the transfer pipeline hides the\n"
+        "wire time entirely. Host threads compute in parallel (shorter\n"
+        "wall clock) but all partitions become ready at once and drain\n"
+        "through the NIC after the join. The stream model is what the\n"
+        "MPI 4.x device-triggered proposals target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""System-noise study: how noise type and amount change the picture.
+
+The paper's §3.3 noise models injected at several intensities, evaluated
+through availability and early-bird fraction — the experiment an
+application team would run to decide whether their (noisy) production
+environment favours partitioned communication.
+
+Run:  python examples/noise_study.py
+"""
+
+from repro import PtpBenchmarkConfig, run_ptp_benchmark
+from repro.core import ascii_table
+from repro.noise import (GaussianNoise, NoNoise, SingleThreadNoise,
+                         UniformNoise)
+
+MESSAGE = 1 << 20
+PARTITIONS = 16
+
+
+def measure(noise):
+    cfg = PtpBenchmarkConfig(message_bytes=MESSAGE, partitions=PARTITIONS,
+                             compute_seconds=0.010, noise=noise,
+                             iterations=5, warmup=1, seed=21)
+    return run_ptp_benchmark(cfg)
+
+
+def main() -> None:
+    print(f"1 MiB message, {PARTITIONS} partitions, 10 ms compute\n")
+    rows = []
+    models = [NoNoise()]
+    for pct in (1.0, 4.0, 10.0):
+        models.extend([SingleThreadNoise(pct), UniformNoise(pct),
+                       GaussianNoise(pct)])
+    for noise in models:
+        result = measure(noise)
+        rows.append([
+            noise.describe(),
+            f"{result.application_availability.mean:.3f}",
+            f"{result.early_bird_fraction.mean * 100:.1f}",
+            f"{result.perceived_bandwidth.mean / 1e9:.1f}",
+        ])
+    print(ascii_table(
+        ["noise model", "availability", "early-bird %", "perceived GB/s"],
+        rows, title="noise sensitivity"))
+    print(
+        "\nreading: without noise there is nothing for early-bird\n"
+        "transfers to exploit; as imbalance grows, partitioned\n"
+        "communication hides more and more of the transfer inside the\n"
+        "compute window — the paper's core argument for noisy systems.")
+
+
+if __name__ == "__main__":
+    main()

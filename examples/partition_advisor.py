@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Partition-count advisor: the paper's developer guidance, as a tool.
+
+Give the advisor your application's profile — how big the messages are,
+how much each thread computes between them, what the noise looks like —
+and it measures the candidate partition counts and recommends one,
+explaining the trade-offs (§4.2's socket-spillover caveat included).
+
+Run:  python examples/partition_advisor.py
+"""
+
+from repro import recommend_partitions
+from repro.core import PtpBenchmarkConfig, format_bytes
+from repro.noise import SingleThreadNoise, UniformNoise
+
+#: Three application profiles to advise on: (name, bytes, compute, noise).
+PROFILES = [
+    ("latency-bound halo slice", 32 * 1024, 0.002, UniformNoise(4.0)),
+    ("mid-size wavefront block", 1 << 20, 0.010, SingleThreadNoise(4.0)),
+    ("bulk checkpoint shard", 16 << 20, 0.100, UniformNoise(4.0)),
+]
+
+
+def main() -> None:
+    base = PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                              iterations=3, seed=1)
+    for name, nbytes, compute, noise in PROFILES:
+        print("=" * 64)
+        print(f"application profile: {name}")
+        rec = recommend_partitions(
+            message_bytes=nbytes,
+            compute_seconds=compute,
+            noise=noise,
+            candidates=[1, 2, 4, 8, 16, 32],
+            objective="balanced",
+            base_config=base,
+        )
+        print(rec.explain())
+        print("\nper-candidate detail:")
+        for n, result in sorted(rec.results.items()):
+            print(f"  n={n:3d}: overhead={result.overhead.mean:7.2f}x  "
+                  f"availability={result.application_availability.mean:6.3f}  "
+                  f"perceived bw="
+                  f"{result.perceived_bandwidth.mean / 1e9:7.2f} GB/s  "
+                  f"score={rec.scores[n]:.3f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

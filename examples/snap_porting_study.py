@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""SNAP porting study: is porting a transport code to partitioned worth it?
+
+Reproduces the paper's §4.8 workflow end-to-end: run the SNAP-like proxy
+at several node counts, profile it with the mpiP-style profiler, then
+project the application speedup if its MPI send/receive time shrank by
+the Sweep3D partitioned factor (15.1x in the paper).
+
+Run:  python examples/snap_porting_study.py
+"""
+
+from repro.proxy import (PAPER_COMM_SPEEDUP, SnapConfig, run_snap,
+                         snap_projection)
+
+
+def main() -> None:
+    # First, a close look at one scale: the raw mpiP-style report.
+    result = run_snap(SnapConfig(nodes=32))
+    print("mpiP-style profile of the SNAP proxy at 32 nodes:")
+    print(result.report.format())
+    print()
+
+    # Then the full Figure-13 series.
+    proj = snap_projection(node_counts=(2, 8, 32, 128, 256),
+                           comm_speedup=PAPER_COMM_SPEEDUP,
+                           base_config=SnapConfig(nodes=2))
+    print(proj.format())
+    print(
+        "\nreading: at small node counts MPI is a sliver of SNAP's\n"
+        "runtime, so porting buys little; by 128-256 nodes the sweep's\n"
+        "communication dominates and the projected gain approaches 2x —\n"
+        "the paper's argument for porting sweep codes at scale.")
+
+
+if __name__ == "__main__":
+    main()

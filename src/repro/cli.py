@@ -1,0 +1,277 @@
+"""Command-line interface: regenerate figures and query the advisor.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig4 [--full]            # any of fig4..fig13
+    python -m repro metrics --message-bytes 1048576 --partitions 8 \\
+        --compute-ms 10 --noise uniform --noise-percent 4
+    python -m repro advisor --message-bytes 1048576 --compute-ms 10 \\
+        --noise single --noise-percent 4
+
+Tables match the ``benchmarks/`` harness output; the CLI exists so the
+suite is usable without pytest, the way the paper's artifact is driven
+from a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .core import (PtpBenchmarkConfig, fig4_overhead,
+                   fig5_perceived_bandwidth, fig6_availability,
+                   fig7_noise_models, fig8_early_bird, metric_table,
+                   recommend_partitions, run_ptp_benchmark, series_table)
+from .core.report import ascii_table, format_bytes
+from .noise import noise_model_from_name
+from .patterns import (CommMode, Halo3DGrid, PatternConfig, Sweep3DGrid,
+                       throughput_series)
+from .proxy import SnapConfig, snap_projection
+
+__all__ = ["main", "build_parser"]
+
+
+def _fig4(args) -> str:
+    panels = fig4_overhead(quick=not args.full)
+    return "\n\n".join(
+        metric_table(sweep, "overhead",
+                     title=f"Fig 4 — Overhead (x), {cache} cache")
+        for cache, sweep in panels.items())
+
+
+def _fig5(args) -> str:
+    panels = fig5_perceived_bandwidth(quick=not args.full)
+    return "\n\n".join(
+        metric_table(sweep, "perceived_bandwidth",
+                     title=f"Fig 5 — Perceived bandwidth (GB/s), uniform "
+                           f"{pct:g}% noise, {comp * 1e3:g}ms")
+        for (pct, comp), sweep in panels.items())
+
+
+def _fig6(args) -> str:
+    panels = fig6_availability(quick=not args.full)
+    return "\n\n".join(
+        metric_table(sweep, "application_availability",
+                     title=f"Fig 6 — Availability, single delay 4%, "
+                           f"{comp * 1e3:g}ms")
+        for comp, sweep in panels.items())
+
+
+def _fig7(args) -> str:
+    panels = fig7_noise_models(quick=not args.full)
+    parts: List[str] = []
+    for comp, by_model in panels.items():
+        sizes = next(iter(by_model.values())).message_sizes
+        rows = []
+        for model, sweep in by_model.items():
+            series = dict(sweep.series("application_availability")[16])
+            rows.append([model] + [f"{series[m]:.3f}" for m in sizes])
+        parts.append(ascii_table(
+            ["model"] + [format_bytes(m) for m in sizes], rows,
+            title=f"Fig 7 — Availability by noise model, "
+                  f"{comp * 1e3:g}ms"))
+    return "\n\n".join(parts)
+
+
+def _fig8(args) -> str:
+    panels = fig8_early_bird(quick=not args.full)
+    return "\n\n".join(
+        metric_table(sweep, "early_bird_fraction",
+                     title=f"Fig 8 — Early-bird (%), uniform 4% noise, "
+                           f"{comp * 1e3:g}ms")
+        for comp, sweep in panels.items())
+
+
+def _sweep_fig(compute_seconds: float, full: bool, title: str) -> str:
+    sizes = ((65536, 1 << 20, 4 << 20, 16 << 20) if not full
+             else tuple(64 * 4 ** k for k in range(5, 10)))
+    base = PatternConfig(mode=CommMode.SINGLE, threads=16,
+                         message_bytes=sizes[0],
+                         compute_seconds=compute_seconds,
+                         steps=8 if full else 4,
+                         iterations=5 if full else 2, warmup=1)
+    series = throughput_series("sweep3d", base, sizes,
+                               grid=Sweep3DGrid(3, 3))
+    return series_table(series, value_label="GB/s", scale=1e-9,
+                        title=title)
+
+
+def _fig9(args) -> str:
+    return _sweep_fig(0.010, args.full,
+                      "Fig 9 — Sweep3D comm throughput, 10ms")
+
+
+def _fig10(args) -> str:
+    return _sweep_fig(0.100, args.full,
+                      "Fig 10 — Sweep3D comm throughput, 100ms")
+
+
+def _halo_fig(compute_seconds: float, full: bool, label: str) -> str:
+    sizes = ((65536, 1 << 20, 4 << 20, 16 << 20) if not full
+             else tuple(64 * 4 ** k for k in range(5, 10)))
+    parts: List[str] = []
+    for threads, caption in ((8, "8 threads (4 partitions/face)"),
+                             (64, "64 threads oversubscribed "
+                                  "(16 partitions/face)")):
+        base = PatternConfig(mode=CommMode.SINGLE, threads=threads,
+                             message_bytes=sizes[0],
+                             compute_seconds=compute_seconds,
+                             steps=4 if full else 2,
+                             iterations=5 if full else 2, warmup=1)
+        series = throughput_series("halo3d", base, sizes,
+                                   grid=Halo3DGrid(2, 2, 2))
+        parts.append(series_table(
+            series, value_label="GB/s", scale=1e-9,
+            title=f"{label} — Halo3D comm throughput, {caption}"))
+    return "\n\n".join(parts)
+
+
+def _fig11(args) -> str:
+    return _halo_fig(0.010, args.full, "Fig 11")
+
+
+def _fig12(args) -> str:
+    return _halo_fig(0.100, args.full, "Fig 12")
+
+
+def _fig13(args) -> str:
+    counts = ((2, 4, 8, 16, 32, 64, 128, 256) if args.full
+              else (2, 8, 32, 128, 256))
+    proj = snap_projection(node_counts=counts,
+                           base_config=SnapConfig(nodes=counts[0]))
+    return proj.format()
+
+
+FIGURES: Dict[str, Callable] = {
+    "fig4": _fig4, "fig5": _fig5, "fig6": _fig6, "fig7": _fig7,
+    "fig8": _fig8, "fig9": _fig9, "fig10": _fig10, "fig11": _fig11,
+    "fig12": _fig12, "fig13": _fig13,
+}
+
+_FIGURE_BLURBS = {
+    "fig4": "overhead vs message size, hot & cold cache",
+    "fig5": "perceived bandwidth under uniform noise",
+    "fig6": "application availability, single-thread delay",
+    "fig7": "availability per noise model",
+    "fig8": "% early-bird communication",
+    "fig9": "Sweep3D throughput, 10 ms compute",
+    "fig10": "Sweep3D throughput, 100 ms compute",
+    "fig11": "Halo3D throughput, 10 ms compute",
+    "fig12": "Halo3D throughput, 100 ms compute",
+    "fig13": "SNAP projected speedup",
+}
+
+
+def _cmd_list(args) -> str:
+    rows = [[name, blurb] for name, blurb in _FIGURE_BLURBS.items()]
+    return ascii_table(["experiment", "reproduces"], rows,
+                       title="available figure reproductions")
+
+
+def _cmd_metrics(args) -> str:
+    noise = noise_model_from_name(args.noise, args.noise_percent)
+    config = PtpBenchmarkConfig(
+        message_bytes=args.message_bytes,
+        partitions=args.partitions,
+        compute_seconds=args.compute_ms / 1e3,
+        noise=noise,
+        cache=args.cache,
+        impl=args.impl,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    result = run_ptp_benchmark(config)
+    rows = [
+        ["overhead (eq.1)", f"{result.overhead.mean:.2f}x"],
+        ["perceived bandwidth (eq.2)",
+         f"{result.perceived_bandwidth.mean / 1e9:.2f} GB/s"],
+        ["application availability (eq.3)",
+         f"{result.application_availability.mean:.3f}"],
+        ["early-bird communication (eq.4)",
+         f"{result.early_bird_fraction.mean * 100:.1f}%"],
+    ]
+    return ascii_table(["metric", "pruned mean"], rows,
+                       title=config.label())
+
+
+def _cmd_advisor(args) -> str:
+    noise = noise_model_from_name(args.noise, args.noise_percent)
+    rec = recommend_partitions(
+        message_bytes=args.message_bytes,
+        compute_seconds=args.compute_ms / 1e3,
+        noise=noise,
+        objective=args.objective,
+        base_config=PtpBenchmarkConfig(
+            message_bytes=64, partitions=1,
+            iterations=args.iterations, seed=args.seed),
+    )
+    lines = [rec.explain(), "", "candidate scores:"]
+    for n, score in sorted(rec.scores.items()):
+        marker = " <-- recommended" if n == rec.partitions else ""
+        lines.append(f"  n={n:3d}: {score:8.3f}{marker}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPI Partitioned micro-benchmark suite "
+                    "(ICPP'22 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the figure reproductions")
+
+    for name, blurb in _FIGURE_BLURBS.items():
+        p = sub.add_parser(name, help=blurb)
+        p.add_argument("--full", action="store_true",
+                       help="run the paper's full grid (slow)")
+
+    m = sub.add_parser("metrics",
+                       help="measure one configuration's four metrics")
+    m.add_argument("--message-bytes", type=int, required=True)
+    m.add_argument("--partitions", type=int, required=True)
+    m.add_argument("--compute-ms", type=float, default=10.0)
+    m.add_argument("--noise", default="none",
+                   choices=["none", "single", "uniform", "gaussian",
+                            "exponential"])
+    m.add_argument("--noise-percent", type=float, default=4.0)
+    m.add_argument("--cache", default="hot", choices=["hot", "cold"])
+    m.add_argument("--impl", default="mpipcl",
+                   choices=["mpipcl", "native"])
+    m.add_argument("--iterations", type=int, default=5)
+    m.add_argument("--seed", type=int, default=0)
+
+    a = sub.add_parser("advisor", help="recommend a partition count")
+    a.add_argument("--message-bytes", type=int, required=True)
+    a.add_argument("--compute-ms", type=float, default=10.0)
+    a.add_argument("--noise", default="single",
+                   choices=["none", "single", "uniform", "gaussian",
+                            "exponential"])
+    a.add_argument("--noise-percent", type=float, default=4.0)
+    a.add_argument("--objective", default="balanced",
+                   choices=["availability", "overhead", "balanced"])
+    a.add_argument("--iterations", type=int, default=3)
+    a.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list(args))
+    elif args.command == "metrics":
+        print(_cmd_metrics(args))
+    elif args.command == "advisor":
+        print(_cmd_advisor(args))
+    else:
+        print(FIGURES[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

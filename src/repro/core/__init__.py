@@ -1,0 +1,69 @@
+"""The MPI Partitioned micro-benchmark suite — the paper's contribution.
+
+Layers:
+
+* :class:`PtpBenchmarkConfig` + :func:`run_ptp_benchmark` — one cell of the
+  parameter space, measured per the paper's Figure 3 procedure.
+* :func:`sweep_ptp` / :class:`SweepResult` — grids over message size ×
+  partition count.
+* ``fig4_…``–``fig8_…`` — per-figure experiment drivers (suite module).
+* :func:`recommend_partitions` — the developer-guidance advisor.
+* :mod:`~repro.core.report` — the text tables the harness prints.
+"""
+
+from .compare import Drift, compare_sweeps, drift_table
+from .config import (COLD, HOT, PAPER_MESSAGE_SIZES, PAPER_PARTITION_COUNTS,
+                     PtpBenchmarkConfig)
+from .guidance import OBJECTIVES, Recommendation, recommend_partitions
+from .persistence import (load_sweep, result_from_dict,
+                          result_to_dict, save_sweep,
+                          sweep_from_dict, sweep_to_dict)
+from .plot import ascii_plot
+from .report import (METRIC_FORMATS, ascii_table, format_bytes,
+                     format_seconds, metric_table, series_table)
+from .runner import PtpResult, PtpSample, run_ptp_benchmark
+from .suite import (QUICK_MESSAGE_SIZES, QUICK_PARTITION_COUNTS,
+                    fig4_overhead, fig5_perceived_bandwidth,
+                    fig6_availability, fig7_noise_models, fig8_early_bird)
+from .sweep import METRIC_NAMES, SweepPoint, SweepResult, sweep_ptp
+
+__all__ = [
+    "COLD",
+    "HOT",
+    "PAPER_MESSAGE_SIZES",
+    "PAPER_PARTITION_COUNTS",
+    "PtpBenchmarkConfig",
+    "Drift",
+    "compare_sweeps",
+    "drift_table",
+    "OBJECTIVES",
+    "Recommendation",
+    "recommend_partitions",
+    "ascii_plot",
+    "load_sweep",
+    "result_from_dict",
+    "result_to_dict",
+    "save_sweep",
+    "sweep_from_dict",
+    "sweep_to_dict",
+    "METRIC_FORMATS",
+    "ascii_table",
+    "format_bytes",
+    "format_seconds",
+    "metric_table",
+    "series_table",
+    "PtpResult",
+    "PtpSample",
+    "run_ptp_benchmark",
+    "QUICK_MESSAGE_SIZES",
+    "QUICK_PARTITION_COUNTS",
+    "fig4_overhead",
+    "fig5_perceived_bandwidth",
+    "fig6_availability",
+    "fig7_noise_models",
+    "fig8_early_bird",
+    "METRIC_NAMES",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_ptp",
+]

@@ -1,0 +1,94 @@
+"""Terminal line plots for figure series.
+
+The benches print tables; this module renders the same series as compact
+ASCII charts (log-x for the message-size axis, optional log-y), so a user
+can eyeball the rise-peak-decline of Figure 5 or the divergence of
+Figure 9 straight from a terminal — no plotting stack required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .report import format_bytes
+
+__all__ = ["ascii_plot"]
+
+#: Glyphs assigned to series in insertion order.
+_GLYPHS = "*o+x#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ConfigurationError(
+                f"log scale requires positive values, got {value}")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 64, height: int = 16,
+               logx: bool = True, logy: bool = False,
+               ylabel: str = "", title: Optional[str] = None) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    Points are plotted into a ``width`` x ``height`` character grid; each
+    series gets a glyph (see the legend line).  ``logx`` suits message-size
+    axes; ``logy`` suits throughput spans.
+    """
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot needs width >= 8 and height >= 4")
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ConfigurationError("nothing to plot")
+    xs = [_transform(x, logx) for pts in series.values() for x, _ in pts]
+    ys = [_transform(y, logy) for pts in series.values() for _, y in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in pts:
+            col = int(round((_transform(x, logx) - xmin) / xspan
+                            * (width - 1)))
+            row = int(round((_transform(y, logy) - ymin) / yspan
+                            * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    raw_ymax = max(y for pts in series.values() for _, y in pts)
+    raw_ymin = min(y for pts in series.values() for _, y in pts)
+    raw_xmax = max(x for pts in series.values() for x, _ in pts)
+    raw_xmin = min(x for pts in series.values() for x, _ in pts)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{raw_ymax:.3g}"
+    bottom_label = f"{raw_ymin:.3g}"
+    pad = max(len(top_label), len(bottom_label), len(ylabel))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and ylabel:
+            label = ylabel
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row_chars))
+    lines.append(" " * pad + " +" + "-" * width)
+    if raw_xmin == int(raw_xmin) and raw_xmax == int(raw_xmax) and logx:
+        left, right = format_bytes(int(raw_xmin)), format_bytes(int(raw_xmax))
+    else:
+        left, right = f"{raw_xmin:.3g}", f"{raw_xmax:.3g}"
+    axis = f"{left}{' ' * max(1, width - len(left) - len(right))}{right}"
+    lines.append(" " * pad + "  " + axis)
+    lines.append(" " * pad + "  legend: " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""The point-to-point micro-benchmark trial runner.
+
+Implements the measurement procedure behind the paper's Figure 3.  Every
+iteration runs *both* models back to back with **common random numbers**
+(identical per-thread compute draws), so the single-send reference join
+time and ``t_pt2pt`` are the "equivalent" quantities the metric equations
+demand:
+
+1. *Partitioned phase* — both sides ``start``; the sender forks one thread
+   per partition; each thread computes its (noise-inflated) amount and
+   calls ``MPI_Pready``; the receiver's arrival times are taken from the
+   ``MPI_Parrived`` events.
+2. *Single-send phase* — the sender forks the same team with the same
+   compute draws, joins, then issues one ``m``-byte send matched by a
+   pre-posted receive.
+
+A cold-cache configuration invalidates both ranks' caches at the top of
+every iteration (§3.4); a hot-cache one relies on the warmup iteration to
+install the buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..metrics import PartitionTimeline, PtpMetrics, SampleSummary, summarize
+from ..mpi import Cluster
+from .config import COLD, PtpBenchmarkConfig
+
+__all__ = ["PtpSample", "PtpResult", "run_ptp_benchmark"]
+
+#: Tags used by the two phases (ordinary user tag space).
+_PART_TAG = 100
+_SINGLE_TAG = 101
+
+
+@dataclass(frozen=True)
+class PtpSample:
+    """One measured iteration: the raw timeline plus its four metrics."""
+
+    iteration: int
+    timeline: PartitionTimeline
+    metrics: PtpMetrics
+
+
+@dataclass
+class PtpResult:
+    """All measured iterations of one configuration, with summaries."""
+
+    config: PtpBenchmarkConfig
+    samples: List[PtpSample] = field(default_factory=list)
+
+    def _summary(self, attr: str) -> SampleSummary:
+        return summarize([getattr(s.metrics, attr) for s in self.samples])
+
+    @property
+    def overhead(self) -> SampleSummary:
+        """Eq. (1) across iterations."""
+        return self._summary("overhead")
+
+    @property
+    def perceived_bandwidth(self) -> SampleSummary:
+        """Eq. (2) across iterations (bytes/second)."""
+        return self._summary("perceived_bandwidth")
+
+    @property
+    def application_availability(self) -> SampleSummary:
+        """Eq. (3) across iterations."""
+        return self._summary("application_availability")
+
+    @property
+    def early_bird_fraction(self) -> SampleSummary:
+        """Eq. (4) across iterations (0–1)."""
+        return self._summary("early_bird_fraction")
+
+    def metric_summary(self, metric: str) -> SampleSummary:
+        """Summary by metric name (the four attribute names above)."""
+        if not hasattr(PtpMetrics, "__dataclass_fields__") or \
+                metric not in PtpMetrics.__dataclass_fields__:
+            raise ConfigurationError(f"unknown metric {metric!r}")
+        return self._summary(metric)
+
+
+def _sender_program(ctx, config: PtpBenchmarkConfig, shared: Dict):
+    comm, main = ctx.comm, ctx.main
+    m, n = config.message_bytes, config.partitions
+    rng = ctx.rng("noise")
+    ps = yield from comm.psend_init(main, 1, _PART_TAG, m, n,
+                                    impl=config.impl)
+    nthreads = config.threads
+    ppt = config.partitions_per_thread
+    for it in range(config.total_iterations):
+        rec = shared.setdefault(it, {})
+        yield from comm.barrier(main)
+        if config.cache == COLD:
+            yield from ctx.invalidate_cache()
+        computes = config.noise.compute_times(rng, nthreads,
+                                              config.compute_seconds)
+        # ---- partitioned phase -------------------------------------
+        yield from ps.start(main)
+        pready_calls = [0.0] * n
+
+        def worker(tc):
+            yield from tc.compute(computes[tc.thread_id])
+            # Each thread owns a contiguous block of partitions (the
+            # paper's 1:1 mapping when partitions_per_thread == 1).
+            lo = tc.thread_id * ppt
+            for p in range(lo, lo + ppt):
+                pready_calls[p] = ctx.sim.now
+                yield from ps.pready(tc, p)
+
+        # Anchor each phase at the opening of its parallel region so the
+        # two phases (which run back to back in absolute simulated time)
+        # can be compared on a common relative clock, as the paper's
+        # side-by-side timelines in Fig. 3 do.
+        rec["part_anchor"] = ctx.sim.now
+        team = yield from ctx.fork(nthreads, worker)
+        yield from team.join()
+        yield from ps.wait(main)
+        rec["pready_times"] = list(pready_calls)
+        # ---- single-send phase --------------------------------------
+        yield from comm.barrier(main)
+
+        def worker_single(tc):
+            yield from tc.compute(computes[tc.thread_id])
+
+        rec["single_anchor"] = ctx.sim.now
+        team2 = yield from ctx.fork(nthreads, worker_single)
+        yield from team2.join()
+        rec["join_time"] = ctx.sim.now
+        rec["send_start"] = ctx.sim.now
+        sreq = yield from comm.isend(main, 1, _SINGLE_TAG, m)
+        yield sreq.wait()
+        yield from comm.barrier(main)
+
+
+def _receiver_program(ctx, config: PtpBenchmarkConfig, shared: Dict):
+    comm, main = ctx.comm, ctx.main
+    m, n = config.message_bytes, config.partitions
+    pr = yield from comm.precv_init(main, 0, _PART_TAG, m, n,
+                                    impl=config.impl)
+    for it in range(config.total_iterations):
+        rec = shared.setdefault(it, {})
+        yield from comm.barrier(main)
+        if config.cache == COLD:
+            yield from ctx.invalidate_cache()
+        # ---- partitioned phase -------------------------------------
+        yield from pr.start(main)
+        yield from pr.wait(main)
+        rec["arrival_times"] = [
+            pr.arrived_event(i).value[0] for i in range(n)
+        ]
+        # ---- single-send phase --------------------------------------
+        # Pre-post the receive so t_pt2pt measures the transfer, not the
+        # posting race.
+        rreq = yield from comm.irecv(main, 0, _SINGLE_TAG, m)
+        yield from comm.barrier(main)
+        yield rreq.wait()
+        rec["recv_complete"] = ctx.sim.now
+        yield from comm.barrier(main)
+
+
+def run_ptp_benchmark(config: PtpBenchmarkConfig) -> PtpResult:
+    """Run one configuration on a fresh two-rank cluster.
+
+    The two ranks live on distinct nodes (one switch apart), like the
+    paper's single-wing point-to-point setup.  Returns the measured
+    iterations only — warmup is discarded.
+    """
+    cluster = Cluster(
+        nranks=2,
+        spec=config.spec,
+        inter_node=config.inter_node,
+        intra_node=config.intra_node,
+        costs=config.costs,
+        mode=config.mode,
+        bind_policy=config.bind_policy,
+        seed=config.seed,
+    )
+    shared: Dict[int, Dict] = {}
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from _sender_program(ctx, config, shared)
+        else:
+            yield from _receiver_program(ctx, config, shared)
+
+    cluster.run(program)
+
+    result = PtpResult(config=config)
+    for it in range(config.warmup, config.total_iterations):
+        rec = shared[it]
+        t_pt2pt = rec["recv_complete"] - rec["send_start"]
+        # Re-express both phases on a common clock anchored at their
+        # parallel-region openings (see _sender_program).
+        pa, sa = rec["part_anchor"], rec["single_anchor"]
+        timeline = PartitionTimeline(
+            message_bytes=config.message_bytes,
+            pready_times=[t - pa for t in rec["pready_times"]],
+            arrival_times=[t - pa for t in rec["arrival_times"]],
+            join_time=rec["join_time"] - sa,
+            pt2pt_time=t_pt2pt,
+        )
+        result.samples.append(PtpSample(
+            iteration=it - config.warmup,
+            timeline=timeline,
+            metrics=PtpMetrics.from_timeline(timeline),
+        ))
+    return result

@@ -1,0 +1,153 @@
+"""Figure-level experiment drivers (the per-figure entry points).
+
+One function per point-to-point figure of the paper (Figures 4–8); the
+pattern figures (9–12) live in :mod:`repro.patterns` and the SNAP
+projection (Figure 13) in :mod:`repro.proxy`.  Each driver returns sweep
+results keyed the way the figure is panelled, and the ``benchmarks/``
+harness prints them with :func:`repro.core.report.metric_table`.
+
+Every driver takes ``quick`` — a reduced grid for CI-speed runs — and
+accepts config overrides for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..noise import (GaussianNoise, NoNoise, NoiseModel, SingleThreadNoise,
+                     UniformNoise)
+from .config import (COLD, HOT, PAPER_MESSAGE_SIZES, PAPER_PARTITION_COUNTS,
+                     PtpBenchmarkConfig)
+from .sweep import SweepResult, sweep_ptp
+
+__all__ = ["fig4_overhead", "fig5_perceived_bandwidth",
+           "fig6_availability", "fig7_noise_models", "fig8_early_bird",
+           "QUICK_MESSAGE_SIZES", "QUICK_PARTITION_COUNTS"]
+
+#: Reduced grids for quick runs (still spanning the paper's axes).
+QUICK_MESSAGE_SIZES: Tuple[int, ...] = (
+    256, 4096, 65536, 1 << 20, 4 << 20, 16 << 20)
+QUICK_PARTITION_COUNTS: Tuple[int, ...] = (1, 2, 8, 16, 32)
+
+
+def _grid(quick: bool,
+          sizes: Optional[Sequence[int]],
+          counts: Optional[Sequence[int]]):
+    if sizes is None:
+        sizes = QUICK_MESSAGE_SIZES if quick else PAPER_MESSAGE_SIZES
+    if counts is None:
+        counts = QUICK_PARTITION_COUNTS if quick else PAPER_PARTITION_COUNTS
+    return sizes, counts
+
+
+def fig4_overhead(quick: bool = True,
+                  sizes: Optional[Sequence[int]] = None,
+                  counts: Optional[Sequence[int]] = None,
+                  **overrides) -> Dict[str, SweepResult]:
+    """Figure 4: overhead vs message size, hot and cold cache, no noise,
+    10 ms compute.  Returns ``{"hot": sweep, "cold": sweep}``."""
+    sizes, counts = _grid(quick, sizes, counts)
+    out: Dict[str, SweepResult] = {}
+    for cache in (HOT, COLD):
+        base = PtpBenchmarkConfig(
+            message_bytes=sizes[0], partitions=1,
+            compute_seconds=0.010, noise=NoNoise(), cache=cache,
+            iterations=3 if quick else 7, **overrides)
+        out[cache] = sweep_ptp(base, sizes, counts)
+    return out
+
+
+def fig5_perceived_bandwidth(quick: bool = True,
+                             sizes: Optional[Sequence[int]] = None,
+                             counts: Optional[Sequence[int]] = None,
+                             **overrides
+                             ) -> Dict[Tuple[float, float], SweepResult]:
+    """Figure 5: perceived bandwidth under uniform noise, hot cache.
+
+    Returns sweeps keyed by ``(noise_percent, compute_seconds)`` for the
+    paper's panels: 0%/10 ms, 4%/10 ms, 0%/100 ms, 4%/100 ms.
+    """
+    sizes, counts = _grid(quick, sizes, counts)
+    panels = [(0.0, 0.010), (4.0, 0.010), (0.0, 0.100), (4.0, 0.100)]
+    if quick:
+        panels = [(0.0, 0.010), (4.0, 0.010), (4.0, 0.100)]
+    out: Dict[Tuple[float, float], SweepResult] = {}
+    for pct, comp in panels:
+        noise: NoiseModel = UniformNoise(pct) if pct > 0 else NoNoise()
+        base = PtpBenchmarkConfig(
+            message_bytes=sizes[0], partitions=1, compute_seconds=comp,
+            noise=noise, cache=HOT,
+            iterations=3 if quick else 7, **overrides)
+        out[(pct, comp)] = sweep_ptp(base, sizes, counts)
+    return out
+
+
+def fig6_availability(quick: bool = True,
+                      sizes: Optional[Sequence[int]] = None,
+                      counts: Optional[Sequence[int]] = None,
+                      noise_percent: float = 4.0,
+                      **overrides) -> Dict[float, SweepResult]:
+    """Figure 6: application availability, single-thread delay model,
+    4% noise, hot cache; panels keyed by compute seconds (10 ms, 100 ms)."""
+    sizes, counts = _grid(quick, sizes, counts)
+    counts = [n for n in counts if n >= 2]  # availability needs >= 2 threads
+    out: Dict[float, SweepResult] = {}
+    for comp in (0.010, 0.100):
+        base = PtpBenchmarkConfig(
+            message_bytes=sizes[0], partitions=2, compute_seconds=comp,
+            noise=SingleThreadNoise(noise_percent), cache=HOT,
+            iterations=3 if quick else 9, **overrides)
+        out[comp] = sweep_ptp(base, sizes, counts)
+    return out
+
+
+def fig7_noise_models(quick: bool = True,
+                      sizes: Optional[Sequence[int]] = None,
+                      partitions: int = 16,
+                      noise_percent: float = 4.0,
+                      **overrides) -> Dict[float, Dict[str, SweepResult]]:
+    """Figure 7: availability per noise model at 16 partitions, 4% noise.
+
+    Returns ``{compute_seconds: {model_name: sweep}}`` where each sweep has
+    the single partition count 16.
+    """
+    sizes, _ = _grid(quick, sizes, None)
+    models = {
+        "single": SingleThreadNoise(noise_percent),
+        "uniform": UniformNoise(noise_percent),
+        "gaussian": GaussianNoise(noise_percent),
+    }
+    out: Dict[float, Dict[str, SweepResult]] = {}
+    for comp in (0.010, 0.100):
+        panel: Dict[str, SweepResult] = {}
+        for name, noise in models.items():
+            base = PtpBenchmarkConfig(
+                message_bytes=sizes[0], partitions=partitions,
+                compute_seconds=comp, noise=noise, cache=HOT,
+                iterations=3 if quick else 9, **overrides)
+            panel[name] = sweep_ptp(base, sizes, [partitions])
+        out[comp] = panel
+    return out
+
+
+def fig8_early_bird(quick: bool = True,
+                    sizes: Optional[Sequence[int]] = None,
+                    counts: Optional[Sequence[int]] = None,
+                    noise_percent: float = 4.0,
+                    **overrides) -> Dict[float, SweepResult]:
+    """Figure 8: % early-bird communication under uniform noise; panels
+    keyed by compute seconds (10 ms, 100 ms).
+
+    The paper notes 0% noise or one partition make this metric degenerate,
+    so the partition grid starts at 2 and noise defaults to 4%.
+    """
+    sizes, counts = _grid(quick, sizes, counts)
+    counts = [n for n in counts if n >= 2]
+    out: Dict[float, SweepResult] = {}
+    for comp in (0.010, 0.100):
+        base = PtpBenchmarkConfig(
+            message_bytes=sizes[0], partitions=2, compute_seconds=comp,
+            noise=UniformNoise(noise_percent), cache=HOT,
+            iterations=3 if quick else 9, **overrides)
+        out[comp] = sweep_ptp(base, sizes, counts)
+    return out

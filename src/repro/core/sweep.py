@@ -1,0 +1,108 @@
+"""Parameter sweeps over the micro-benchmark space.
+
+A sweep runs :func:`~repro.core.runner.run_ptp_benchmark` over a grid of
+message sizes × partition counts (× anything else via config overrides) and
+organizes the results for the figure-shaped reports: one *series* per
+partition count, message size on the x-axis — the layout of the paper's
+Figures 4–8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..metrics import SampleSummary
+from .config import PtpBenchmarkConfig
+from .runner import PtpResult, run_ptp_benchmark
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_ptp",
+           "METRIC_NAMES"]
+
+#: The four §3.1 metric attribute names on :class:`PtpResult`.
+METRIC_NAMES = ("overhead", "perceived_bandwidth",
+                "application_availability", "early_bird_fraction")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: its configuration and measured result."""
+
+    config: PtpBenchmarkConfig
+    result: PtpResult
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, queryable as figure-shaped series."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def message_sizes(self) -> List[int]:
+        """Distinct message sizes, ascending."""
+        return sorted({p.config.message_bytes for p in self.points})
+
+    @property
+    def partition_counts(self) -> List[int]:
+        """Distinct partition counts, ascending."""
+        return sorted({p.config.partitions for p in self.points})
+
+    def point(self, message_bytes: int, partitions: int) -> SweepPoint:
+        """The cell at (message size, partition count)."""
+        for p in self.points:
+            if (p.config.message_bytes == message_bytes
+                    and p.config.partitions == partitions):
+                return p
+        raise ConfigurationError(
+            f"no sweep point for m={message_bytes}, n={partitions}")
+
+    def series(self, metric: str) -> Dict[int, List[Tuple[int, float]]]:
+        """Figure-shaped data: ``{partitions: [(message_bytes, mean), ...]}``.
+
+        ``metric`` is one of :data:`METRIC_NAMES`.
+        """
+        if metric not in METRIC_NAMES:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; choose from {METRIC_NAMES}")
+        out: Dict[int, List[Tuple[int, float]]] = {}
+        for p in sorted(self.points,
+                        key=lambda p: (p.config.partitions,
+                                       p.config.message_bytes)):
+            summary: SampleSummary = getattr(p.result, metric)
+            out.setdefault(p.config.partitions, []).append(
+                (p.config.message_bytes, summary.mean))
+        return out
+
+    def value(self, metric: str, message_bytes: int,
+              partitions: int) -> float:
+        """The pruned-mean metric value of one cell."""
+        point = self.point(message_bytes, partitions)
+        return getattr(point.result, metric).mean
+
+
+def sweep_ptp(base: PtpBenchmarkConfig,
+              message_sizes: Sequence[int],
+              partition_counts: Sequence[int],
+              progress: Optional[Callable[[PtpBenchmarkConfig], None]] = None,
+              ) -> SweepResult:
+    """Run the grid ``message_sizes`` × ``partition_counts`` from ``base``.
+
+    Cells where the message is smaller than the partition count are
+    skipped (they cannot be split), matching how the paper's figures leave
+    those cells empty.
+    """
+    if not message_sizes or not partition_counts:
+        raise ConfigurationError("sweep needs at least one size and count")
+    result = SweepResult()
+    for n in partition_counts:
+        for m in message_sizes:
+            if m < n:
+                continue
+            config = base.with_overrides(message_bytes=m, partitions=n)
+            if progress is not None:
+                progress(config)
+            result.points.append(
+                SweepPoint(config=config, result=run_ptp_benchmark(config)))
+    return result

@@ -1,0 +1,63 @@
+"""NUMA memory-placement model.
+
+Niagara has one NUMA domain per socket; the paper notes NUMA effects appear
+only when threads are mapped across sockets.  We model exactly that: a copy
+whose source thread is on a different socket than the buffer's home domain
+runs at reduced bandwidth, and MPI injections from the non-NIC socket pay a
+fixed penalty (captured here so both the runtime and analyses share one
+definition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .topology import MachineSpec
+
+__all__ = ["NUMAModel"]
+
+
+@dataclass(frozen=True)
+class NUMAModel:
+    """Derived NUMA costs for one node.
+
+    Attributes
+    ----------
+    spec:
+        The node description supplying raw penalties and bandwidths.
+    """
+
+    spec: MachineSpec
+
+    def copy_time(self, nbytes: int, src_socket: int, dst_socket: int) -> float:
+        """Seconds to copy ``nbytes`` between NUMA domains.
+
+        Local copies stream at full memory bandwidth; cross-socket copies are
+        slowed by :attr:`MachineSpec.inter_socket_bandwidth_factor`.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"negative copy size: {nbytes}")
+        self._check_socket(src_socket)
+        self._check_socket(dst_socket)
+        base = nbytes / self.spec.memory_bandwidth
+        if src_socket == dst_socket:
+            return base
+        return base * self.spec.inter_socket_bandwidth_factor
+
+    def injection_penalty(self, core: int) -> float:
+        """Fixed extra cost for an MPI injection from ``core``.
+
+        Zero on the NIC's socket; :attr:`MachineSpec.inter_socket_penalty`
+        otherwise.  This is the knob behind the paper's 32-partition
+        overhead spike (§4.2) and the spillover ablation.
+        """
+        if self.spec.is_remote_to_nic(core):
+            return self.spec.inter_socket_penalty
+        return 0.0
+
+    def _check_socket(self, socket: int) -> None:
+        if not (0 <= socket < self.spec.sockets_per_node):
+            raise ConfigurationError(
+                f"socket {socket} out of range "
+                f"[0, {self.spec.sockets_per_node})")

@@ -1,0 +1,119 @@
+"""Partition-transfer timelines — the raw material of the paper's metrics.
+
+A :class:`PartitionTimeline` records, for one measured iteration, when each
+partition was marked ready (``MPI_Pready``) and when it arrived at the
+receiver (``MPI_Parrived`` observable), plus the equivalent single-send
+model's thread-join time and one-send duration.  The four §3.1 metrics are
+all pure functions of this record (see :mod:`repro.metrics.definitions`),
+mirroring the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+__all__ = ["PartitionTimeline"]
+
+
+@dataclass(frozen=True)
+class PartitionTimeline:
+    """One iteration's timestamps (all in simulated seconds).
+
+    Attributes
+    ----------
+    message_bytes:
+        Total message size ``m`` (all partitions together).
+    pready_times:
+        ``pready_times[i]`` — when partition ``i`` was marked ready.
+    arrival_times:
+        ``arrival_times[i]`` — when partition ``i`` became visible to
+        ``MPI_Parrived`` at the receiver.
+    join_time:
+        When the *equivalent single-send model's* threads joined (the
+        reference point for availability and early-bird, §3.1.3–3.1.4).
+    pt2pt_time:
+        Duration of the equivalent single send/receive of ``m`` bytes
+        (``t_pt2pt`` in the paper: send start to receive completion).
+    """
+
+    message_bytes: int
+    pready_times: Sequence[float]
+    arrival_times: Sequence[float]
+    join_time: float
+    pt2pt_time: float
+
+    def __post_init__(self) -> None:
+        if len(self.pready_times) != len(self.arrival_times):
+            raise ConfigurationError(
+                f"{len(self.pready_times)} pready vs "
+                f"{len(self.arrival_times)} arrival timestamps")
+        if not self.pready_times:
+            raise ConfigurationError("timeline needs at least one partition")
+        if self.message_bytes <= 0:
+            raise ConfigurationError("message_bytes must be positive")
+        if self.pt2pt_time <= 0:
+            raise ConfigurationError("pt2pt_time must be positive")
+        for p, a in zip(self.pready_times, self.arrival_times):
+            if a < p:
+                raise ConfigurationError(
+                    f"partition arrived at {a} before its pready at {p}")
+
+    @property
+    def partitions(self) -> int:
+        """Partition count ``n``."""
+        return len(self.pready_times)
+
+    @property
+    def first_pready(self) -> float:
+        """Timestamp of the first ``MPI_Pready``."""
+        return min(self.pready_times)
+
+    @property
+    def last_arrival(self) -> float:
+        """Timestamp of the last partition arrival."""
+        return max(self.arrival_times)
+
+    @property
+    def t_part(self) -> float:
+        """§3.1.1: first ``MPI_Pready`` → last ``MPI_Parrived``."""
+        return self.last_arrival - self.first_pready
+
+    @property
+    def last_transfer_time(self) -> float:
+        """§3.1.2: duration of the transfer that *finishes last*.
+
+        The "Thread #4 data transfer" of Figure 3: from that partition's
+        pready to its arrival, including any queueing behind earlier
+        partitions still on the wire.
+        """
+        idx = max(range(self.partitions),
+                  key=lambda i: self.arrival_times[i])
+        return self.arrival_times[idx] - self.pready_times[idx]
+
+    @property
+    def t_after_join(self) -> float:
+        """§3.1.3: how long partitioned traffic continues past the join."""
+        return max(0.0, self.last_arrival - self.join_time)
+
+    @property
+    def t_before_join(self) -> float:
+        """§3.1.4: wall-clock partitioned-communication time before the
+        equivalent join.
+
+        The overlap of the communication window
+        ``[first_pready, last_arrival]`` with ``(-inf, join_time]``.  The
+        paper sums per-transfer segments along its (serialized) send
+        timeline; with transfers serialized on one NIC the two readings
+        coincide, and the overlap form stays well-defined when transfers
+        overlap.
+        """
+        return max(0.0, min(self.last_arrival, self.join_time)
+                   - self.first_pready)
+
+    def transfer_durations(self) -> List[float]:
+        """Per-partition pready→arrival durations (diagnostics)."""
+        return [a - p for p, a in zip(self.pready_times,
+                                      self.arrival_times)]

@@ -1,0 +1,254 @@
+"""Cluster: builds a simulated machine + network + MPI world and runs programs.
+
+This is the top-level entry point of the substrate.  A *program* is a
+generator function ``program(ctx)`` executed once per rank with a
+:class:`RankContext` that exposes the rank's communicator, its main-thread
+context, OpenMP-style ``fork``, and cache control.
+
+Example
+-------
+>>> from repro.mpi import Cluster
+>>> def program(ctx):
+...     if ctx.rank == 0:
+...         yield from ctx.comm.send(ctx.main, dest=1, tag=7, nbytes=64)
+...     else:
+...         status = yield from ctx.comm.recv(ctx.main, 0, 7, 64)
+...         return status.nbytes
+>>> Cluster(nranks=2).run(program)
+[None, 64]
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..errors import ConfigurationError, DeadlockError
+from ..machine import (BindPolicy, MachineSpec, NIAGARA_NODE, bind_threads,
+                       validate_spec)
+from ..network import (Fabric, INTRA_NODE, NIAGARA_EDR, NetworkParams,
+                       Placement, validate_params)
+from ..sim import RandomStreams, Simulator, TraceRecorder
+from ..threadsim import (DEFAULT_OPENMP_COSTS, OpenMPCosts, ThreadContext,
+                         ThreadTeam)
+from .comm import Communicator
+from .constants import DEFAULT_COSTS, MPICosts, ThreadingMode, validate_costs
+from .process import MPIProcess
+from .protocol import Frame
+
+__all__ = ["Cluster", "RankContext"]
+
+
+class RankContext:
+    """Everything one rank's program can touch.
+
+    Attributes
+    ----------
+    rank / size:
+        Identity within the world.
+    comm:
+        The world communicator bound to this rank.
+    main:
+        The main thread's :class:`ThreadContext` (thread id 0, pinned to
+        the first core of the NIC's socket).
+    """
+
+    def __init__(self, cluster: "Cluster", rank: int):
+        self.cluster = cluster
+        self.rank = rank
+        self.size = cluster.nranks
+        self.proc = cluster.procs[rank]
+        self.comm = Communicator(cluster, self.proc, comm_id=0,
+                                 size=cluster.nranks)
+        main_core = cluster.spec.nic_socket * cluster.spec.cores_per_socket
+        self.main = ThreadContext(self, thread_id=0, core=main_core,
+                                  team=None)
+
+    @property
+    def sim(self) -> Simulator:
+        """The shared simulation kernel."""
+        return self.cluster.sim
+
+    @property
+    def trace(self) -> TraceRecorder:
+        """The shared trace recorder."""
+        return self.cluster.trace
+
+    @property
+    def spec(self) -> MachineSpec:
+        """This rank's node description."""
+        return self.cluster.spec
+
+    def rng(self, name: str):
+        """A deterministic RNG stream namespaced to this rank."""
+        return self.cluster.streams.stream(f"rank{self.rank}/{name}")
+
+    def fork(self, nthreads: int,
+             worker: Callable[[ThreadContext], Generator],
+             policy: Optional[BindPolicy] = None):
+        """Generator: open a parallel region of ``nthreads`` workers.
+
+        Charges the OpenMP fork cost, binds threads per ``policy`` (the
+        cluster default when omitted), starts the workers, and returns the
+        :class:`ThreadTeam`; callers later ``yield from team.join()``.
+        """
+        binding = bind_threads(nthreads, self.spec,
+                               policy or self.cluster.bind_policy)
+        yield self.sim.timeout(self.cluster.omp_costs.fork_cost(nthreads))
+        team = ThreadTeam(self, binding, worker,
+                          omp_costs=self.cluster.omp_costs)
+        self.trace.emit(self.sim.now, "team.fork", rank=self.rank,
+                        nthreads=nthreads)
+        return team
+
+    def parallel(self, nthreads: int,
+                 worker: Callable[[ThreadContext], Generator],
+                 policy: Optional[BindPolicy] = None):
+        """Generator: fork + join in one call; returns the worker results."""
+        team = yield from self.fork(nthreads, worker, policy)
+        yield from team.join()
+        return team.results()
+
+    def invalidate_cache(self):
+        """Generator: run the cold-cache invalidation pass (§3.4).
+
+        Flushes this rank's cache model and charges the cost of streaming
+        the 8 MB scratch buffer, as the SMB-derived method does.
+        """
+        cost = self.proc.cache.invalidate()
+        yield self.sim.timeout(cost)
+
+    def elapse(self, seconds: float):
+        """Generator: idle this rank's main thread for ``seconds``."""
+        yield self.sim.timeout(seconds)
+
+
+class Cluster:
+    """A simulated cluster and its MPI world.
+
+    Parameters
+    ----------
+    nranks:
+        World size.
+    spec / inter_node / intra_node / costs / omp_costs:
+        Substrate parameter sets (Niagara-calibrated defaults).
+    mode:
+        MPI threading mode for every rank.
+    placement:
+        Rank→node placement; default one rank per node, matching the
+        paper's pattern benchmarks.
+    bind_policy:
+        Default thread binding for parallel regions.
+    seed:
+        Master seed for all RNG streams.
+    """
+
+    def __init__(self, nranks: int, *,
+                 spec: MachineSpec = NIAGARA_NODE,
+                 inter_node: NetworkParams = NIAGARA_EDR,
+                 intra_node: NetworkParams = INTRA_NODE,
+                 costs: MPICosts = DEFAULT_COSTS,
+                 mode: ThreadingMode = ThreadingMode.MULTIPLE,
+                 omp_costs: OpenMPCosts = DEFAULT_OPENMP_COSTS,
+                 placement: Optional[Placement] = None,
+                 bind_policy: BindPolicy = BindPolicy.COMPACT,
+                 seed: int = 0):
+        if nranks < 1:
+            raise ConfigurationError(f"nranks must be >= 1, got {nranks}")
+        validate_spec(spec)
+        validate_params(inter_node)
+        validate_params(intra_node)
+        validate_costs(costs)
+        if placement is None:
+            placement = Placement.one_per_node(nranks)
+        if placement.nranks != nranks:
+            raise ConfigurationError(
+                f"placement covers {placement.nranks} ranks, world has "
+                f"{nranks}")
+        self.nranks = nranks
+        self.spec = spec
+        self.costs = costs
+        self.mode = mode
+        self.omp_costs = omp_costs
+        self.bind_policy = bind_policy
+        self.sim = Simulator()
+        self.trace = TraceRecorder()
+        self.streams = RandomStreams(seed)
+        self.fabric = Fabric(placement, inter_node, intra_node)
+        self.procs: List[MPIProcess] = [
+            MPIProcess(self.sim, r, self.fabric, spec, costs, mode,
+                       self.trace, self._route)
+            for r in range(nranks)
+        ]
+        self.contexts: List[RankContext] = [
+            RankContext(self, r) for r in range(nranks)
+        ]
+        self._part_pending: Dict[Tuple[int, int, int, int],
+                                 Dict[str, deque]] = {}
+        self._dup_ids: Dict[Tuple[int, int], int] = {}
+        self._next_comm_id = 1
+
+    # ------------------------------------------------------------------
+    # plumbing used by the runtime
+    # ------------------------------------------------------------------
+    def _route(self, dst_rank: int, frame: Frame) -> None:
+        self.procs[dst_rank].deliver(frame)
+
+    def _register_partitioned(self, req, is_send: bool) -> None:
+        """Init-time matching of partitioned halves, in posting order."""
+        if is_send:
+            key = (req.proc.rank, req.peer_rank, req.tag, req.comm_id)
+        else:
+            key = (req.peer_rank, req.proc.rank, req.tag, req.comm_id)
+        entry = self._part_pending.setdefault(
+            key, {"send": deque(), "recv": deque()})
+        mine, theirs = (("send", "recv") if is_send else ("recv", "send"))
+        if entry[theirs]:
+            peer = entry[theirs].popleft()
+            req.bind(peer)
+            peer.bind(req)
+        else:
+            entry[mine].append(req)
+
+    def _dup_comm_id(self, base_id: int, nth: int) -> int:
+        key = (base_id, nth)
+        if key not in self._dup_ids:
+            self._dup_ids[key] = self._next_comm_id
+            self._next_comm_id += 1
+        return self._dup_ids[key]
+
+    # ------------------------------------------------------------------
+    # running programs
+    # ------------------------------------------------------------------
+    def run(self, program: Callable[[RankContext], Generator],
+            ranks: Optional[List[int]] = None,
+            until: Optional[float] = None) -> List[Any]:
+        """Run ``program`` on every rank (or on ``ranks``) to completion.
+
+        Returns the per-rank return values.  Raises
+        :class:`~repro.errors.DeadlockError` naming the stuck ranks when the
+        event queue drains with programs still waiting, and re-raises the
+        first program failure otherwise.
+        """
+        targets = ranks if ranks is not None else list(range(self.nranks))
+        procs = [
+            self.sim.process(program(self.contexts[r]), name=f"rank{r}.main")
+            for r in targets
+        ]
+        self.sim.run(until=until)
+        stuck = [p.name for p in procs if not p.triggered]
+        if stuck:
+            raise DeadlockError(
+                f"programs never completed (likely unmatched communication "
+                f"or missing start/wait): {', '.join(stuck)}")
+        results = []
+        for p in procs:
+            if not p.ok:
+                raise p.value
+            results.append(p.value)
+        return results
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now

@@ -1,0 +1,23 @@
+"""Injected system-noise models (§3.3 of the paper, plus a trace extension)."""
+
+from .models import (
+    ExponentialNoise,
+    GaussianNoise,
+    NoNoise,
+    NoiseModel,
+    SingleThreadNoise,
+    UniformNoise,
+    noise_model_from_name,
+)
+from .trace_noise import TraceNoise
+
+__all__ = [
+    "ExponentialNoise",
+    "GaussianNoise",
+    "NoNoise",
+    "NoiseModel",
+    "SingleThreadNoise",
+    "UniformNoise",
+    "noise_model_from_name",
+    "TraceNoise",
+]

@@ -1,0 +1,58 @@
+"""Trace-driven noise (extension beyond the paper's three models).
+
+Replays a recorded sequence of per-thread delays — e.g. from a production
+system's interference log — instead of sampling a distribution.  The paper
+lists evaluating ambient noise as future work; this model lets the suite do
+it as soon as a trace exists, and gives tests a fully deterministic noise
+source.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .models import NoiseModel
+
+__all__ = ["TraceNoise"]
+
+
+class TraceNoise(NoiseModel):
+    """Replay recorded *additive* delays, cycling through the trace.
+
+    Parameters
+    ----------
+    delays:
+        A flat sequence of delay seconds.  Draw ``k`` consumes the next
+        ``nthreads`` entries (wrapping around), so consecutive trials walk
+        the trace.
+    """
+
+    name = "trace"
+
+    def __init__(self, delays: Sequence[float]):
+        arr = np.asarray(list(delays), dtype=float)
+        if arr.size == 0:
+            raise ConfigurationError("trace noise needs at least one delay")
+        if (arr < 0).any():
+            raise ConfigurationError("trace delays must be non-negative")
+        self.delays = arr
+        self._cursor = 0
+
+    def compute_times(self, rng: np.random.Generator, nthreads: int,
+                      compute_seconds: float) -> np.ndarray:
+        """Add the next ``nthreads`` recorded delays (cycling)."""
+        self._check(nthreads, compute_seconds)
+        idx = (self._cursor + np.arange(nthreads)) % self.delays.size
+        self._cursor = int((self._cursor + nthreads) % self.delays.size)
+        return compute_seconds + self.delays[idx]
+
+    def reset(self) -> None:
+        """Rewind the trace to its beginning."""
+        self._cursor = 0
+
+    def describe(self) -> str:
+        """Name plus the trace length."""
+        return f"trace({self.delays.size} samples)"

@@ -1,0 +1,32 @@
+"""MPI 4.0 Partitioned point-to-point communication.
+
+Implements the partitioned API the paper benchmarks (``MPI_Psend_init``,
+``MPI_Precv_init``, ``MPI_Start``, ``MPI_Pready``, ``MPI_Parrived``,
+``MPI_Wait``) over the simulated runtime, in two flavours:
+
+* :data:`IMPL_MPIPCL` — the layered implementation the paper evaluates;
+* :data:`IMPL_NATIVE` — an idealized native implementation (extension).
+
+Access is normally through :class:`repro.mpi.comm.Communicator`
+(``comm.psend_init`` / ``comm.precv_init``); this package holds the request
+state machines.
+"""
+
+from .collectives import PartitionedBroadcast, binomial_children
+from .requests import (
+    IMPL_MPIPCL,
+    IMPL_NATIVE,
+    PartitionedRecvRequest,
+    PartitionedSendRequest,
+    partition_sizes,
+)
+
+__all__ = [
+    "PartitionedBroadcast",
+    "binomial_children",
+    "IMPL_MPIPCL",
+    "IMPL_NATIVE",
+    "PartitionedRecvRequest",
+    "PartitionedSendRequest",
+    "partition_sizes",
+]

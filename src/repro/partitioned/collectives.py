@@ -1,0 +1,183 @@
+"""Partitioned collectives preview (the paper's §6.1 / Holmes et al. [20]).
+
+The paper closes by pointing at *partitioned collective communication* as
+the natural next step.  This module prototypes the flagship case: a
+**pipelined partitioned broadcast**.  The root exposes a partitioned send
+to each child in a binomial tree; every interior rank relays each
+partition the moment it arrives (an arrival event triggers the child-side
+``pready``), so partitions stream down the tree without waiting for the
+whole buffer at any level — the collective analogue of early-bird
+communication.
+
+For comparison, :func:`whole_message_bcast_time` runs the classic
+binomial broadcast of the same buffer, letting benchmarks quantify the
+pipelining gain (≈ depth × (m - m/n)/BW hidden for deep trees).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .requests import IMPL_MPIPCL, PartitionedRecvRequest, \
+    PartitionedSendRequest
+
+__all__ = ["PartitionedBroadcast", "binomial_children"]
+
+#: Reserved tag base for partitioned-collective plumbing.
+_PBCAST_TAG = 80_000
+
+
+def binomial_children(rank: int, root: int, size: int):
+    """Children and parent of ``rank`` in the binomial broadcast tree.
+
+    Returns ``(parent_or_None, [children...])`` using the same virtual-rank
+    construction as :func:`repro.mpi.collectives.bcast`.
+    """
+    if not (0 <= root < size):
+        raise ConfigurationError(f"root {root} out of range [0, {size})")
+    if not (0 <= rank < size):
+        raise ConfigurationError(f"rank {rank} out of range [0, {size})")
+    vrank = (rank - root) % size
+    parent: Optional[int] = None
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank ^ mask) + root) % size
+            break
+        mask <<= 1
+    children: List[int] = []
+    # Children are vrank | bit for bits below our parent-bit (or all bits
+    # when we are the root).
+    bit = 1
+    limit = mask if parent is not None else size
+    while bit < limit:
+        child = vrank | bit
+        if child != vrank and child < size and not (vrank & bit):
+            children.append((child + root) % size)
+        if vrank & bit:
+            break
+        bit <<= 1
+    return parent, children
+
+
+def _highest_bit(n: int) -> int:
+    bit = 1
+    while bit < n:
+        bit <<= 1
+    return bit
+
+
+class PartitionedBroadcast:
+    """A persistent, pipelined partitioned broadcast.
+
+    Build one per rank (collectively, same arguments), then per epoch::
+
+        yield from pb.start(tc)
+        if rank == root:
+            # threads fill partitions and call pb.pready(tc, i)
+        yield from pb.wait(tc)      # everyone: buffer fully delivered
+
+    Interior ranks need no application code at all: relays are armed
+    automatically at ``start`` and forward each partition on arrival.
+    """
+
+    def __init__(self, ctx, root: int, nbytes: int, partitions: int,
+                 impl: str = IMPL_MPIPCL):
+        self.ctx = ctx
+        self.root = root
+        self.nbytes = nbytes
+        self.partitions = partitions
+        self.impl = impl
+        self.rank = ctx.rank
+        self.size = ctx.size
+        self.parent, self.children = binomial_children(self.rank, root,
+                                                       self.size)
+        self._recv: Optional[PartitionedRecvRequest] = None
+        self._sends: Dict[int, PartitionedSendRequest] = {}
+        self._initialized = False
+
+    # -- setup (serial code, like psend_init/precv_init) -----------------
+    def init(self, tc):
+        """Generator: create the per-link partitioned requests.
+
+        Collective: every rank of the communicator must call it.
+        """
+        comm = self.ctx.comm
+        if self._initialized:
+            raise ConfigurationError("PartitionedBroadcast.init called twice")
+        if self.parent is not None:
+            self._recv = yield from comm.precv_init(
+                tc, self.parent, _PBCAST_TAG, self.nbytes, self.partitions,
+                impl=self.impl)
+        for child in self.children:
+            self._sends[child] = yield from comm.psend_init(
+                tc, child, _PBCAST_TAG, self.nbytes, self.partitions,
+                impl=self.impl)
+        self._initialized = True
+        return self
+
+    # -- per-epoch lifecycle ----------------------------------------------
+    def start(self, tc):
+        """Generator: arm one broadcast epoch (and the relay plumbing)."""
+        if not self._initialized:
+            raise ConfigurationError("start() before init()")
+        if self._recv is not None:
+            yield from self._recv.start(tc)
+        for ps in self._sends.values():
+            yield from ps.start(tc)
+        if self._recv is not None and self._sends:
+            self._arm_relays()
+        return self
+
+    def pready(self, tc, partition: int):
+        """Generator: root-side partition hand-off (fans out to children)."""
+        if self.rank != self.root:
+            raise ConfigurationError(
+                "only the root calls PartitionedBroadcast.pready")
+        for ps in self._sends.values():
+            yield from ps.pready(tc, partition)
+
+    def wait(self, tc):
+        """Generator: complete the epoch on this rank.
+
+        The root completes when every child link drained; interior ranks
+        when their receive completed *and* their relays drained; leaves on
+        receive completion.
+        """
+        if self._recv is not None:
+            yield from self._recv.wait(tc)
+        for ps in self._sends.values():
+            yield from ps.wait(tc)
+
+    def arrived_event(self, partition: int):
+        """This rank's arrival event for ``partition`` (non-root only)."""
+        if self._recv is None:
+            raise ConfigurationError("the root has no arrival events")
+        return self._recv.arrived_event(partition)
+
+    # -- internals ----------------------------------------------------------
+    def _arm_relays(self) -> None:
+        """Forward each partition to the children the moment it arrives.
+
+        The relay runs as a per-partition simulated process using the
+        device-context trick: a lock-free native forward when the links are
+        native, or an MPIPCL internal isend otherwise, charged to a relay
+        actor pinned to the NIC socket.
+        """
+        from ..threadsim import ThreadContext
+        relay_core = (self.ctx.spec.nic_socket
+                      * self.ctx.spec.cores_per_socket)
+        relay_tc = ThreadContext(self.ctx, thread_id=0, core=relay_core,
+                                 team=None)
+
+        def relay(partition: int):
+            ev = self._recv.arrived_event(partition)
+            if not ev.triggered:
+                yield ev
+            for ps in self._sends.values():
+                yield from ps.pready(relay_tc, partition)
+
+        for p in range(self.partitions):
+            self.ctx.sim.process(
+                relay(p), name=f"r{self.rank}.pbcast.relay{p}")

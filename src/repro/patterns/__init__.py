@@ -1,0 +1,29 @@
+"""Communication-pattern motifs (Ember-style Sweep3D and Halo3D, §3.2)."""
+
+from .halo2d import EDGES_2D, Halo2DGrid, opposite_edge, run_halo2d
+from .halo3d import (FACES, Halo3DGrid, face_partition, opposite_face,
+                     run_halo3d, thread_cube_side)
+from .motif import CommMode, PatternConfig, PatternRunResult
+from .runner import MOTIFS, run_motif, throughput_series
+from .sweep3d import Sweep3DGrid, run_sweep3d
+
+__all__ = [
+    "EDGES_2D",
+    "Halo2DGrid",
+    "opposite_edge",
+    "run_halo2d",
+    "FACES",
+    "Halo3DGrid",
+    "face_partition",
+    "opposite_face",
+    "run_halo3d",
+    "thread_cube_side",
+    "CommMode",
+    "PatternConfig",
+    "PatternRunResult",
+    "MOTIFS",
+    "run_motif",
+    "throughput_series",
+    "Sweep3DGrid",
+    "run_sweep3d",
+]

@@ -1,0 +1,255 @@
+"""Halo2D motif: the paper's 5-point halo exchange (§2.3, Figure 2b).
+
+Ranks form a ``gx × gy`` grid (non-periodic); each rank exchanges one
+boundary strip with up to four neighbours per step.  Threads form a row of
+``t`` workers; each of the two vertical faces (north/south) splits into
+``t`` partitions (one per thread), while the east/west faces are owned by
+the first and last thread respectively — the classic 1D-within-2D
+decomposition of stencil codes.
+
+The paper uses this pattern for exposition and evaluates the 3D variant;
+we implement both so the suite covers the exact figure the background
+section draws, and so 2D stencil users can profile their shape directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..mpi import Cluster
+from ..partitioned import partition_sizes
+from .motif import CommMode, PatternConfig, PatternRunResult
+
+__all__ = ["Halo2DGrid", "run_halo2d", "EDGES_2D", "opposite_edge"]
+
+#: The four edges as (axis, direction): west, east, north, south.
+EDGES_2D: Tuple[Tuple[int, int], ...] = ((0, -1), (0, +1), (1, -1), (1, +1))
+
+_TAG_BASE = 60_000
+_PTAG_BASE = 70_000
+
+
+def opposite_edge(edge: int) -> int:
+    """The neighbour-side edge matching ours."""
+    return edge ^ 1
+
+
+class Halo2DGrid:
+    """Geometry of the 2D process grid."""
+
+    def __init__(self, gx: int, gy: int):
+        if min(gx, gy) < 1:
+            raise ConfigurationError(f"grid must be >= 1x1: {gx}x{gy}")
+        self.dims = (gx, gy)
+
+    @property
+    def nranks(self) -> int:
+        """World size."""
+        gx, gy = self.dims
+        return gx * gy
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(x, y) of ``rank`` (x fastest)."""
+        gx, _ = self.dims
+        return rank % gx, rank // gx
+
+    def rank_of(self, x: int, y: int) -> int:
+        """Rank at (x, y)."""
+        gx, _ = self.dims
+        return y * gx + x
+
+    def neighbor(self, rank: int, edge: int) -> Optional[int]:
+        """Neighbour across ``edge`` (None at the domain boundary)."""
+        x, y = self.coords(rank)
+        axis, direction = EDGES_2D[edge]
+        coord = [x, y]
+        coord[axis] += direction
+        gx, gy = self.dims
+        if not (0 <= coord[0] < gx and 0 <= coord[1] < gy):
+            return None
+        return self.rank_of(coord[0], coord[1])
+
+    def directed_edges(self) -> int:
+        """Directed neighbour pairs."""
+        gx, gy = self.dims
+        return 2 * ((gx - 1) * gy + gx * (gy - 1))
+
+
+def _edge_partitions(edge: int, tid: int, nthreads: int) -> Optional[int]:
+    """Partition index thread ``tid`` owns on ``edge`` (None if not owner).
+
+    North/south strips are split across all threads; the west strip is
+    owned by thread 0 and the east strip by the last thread (the 1D thread
+    row touches those edges only at its ends).
+    """
+    axis, direction = EDGES_2D[edge]
+    if axis == 1:  # north/south: every thread owns one partition
+        return tid
+    if direction < 0:  # west
+        return 0 if tid == 0 else None
+    return 0 if tid == nthreads - 1 else None  # east
+
+
+def _edge_partition_count(edge: int, nthreads: int) -> int:
+    axis, _ = EDGES_2D[edge]
+    return nthreads if axis == 1 else 1
+
+
+def _step_tag(step: int, edge: int, part: int = 0) -> int:
+    return _TAG_BASE + (step * 4 + edge) * 1024 + part
+
+
+def _single_program(ctx, config: PatternConfig, grid: Halo2DGrid,
+                    record: Dict):
+    comm, main = ctx.comm, ctx.main
+    m = config.message_bytes
+    nbrs = [grid.neighbor(ctx.rank, e) for e in range(4)]
+    rng = ctx.rng("halo2d-noise")
+    for it in range(config.total_iterations):
+        yield from comm.barrier(main)
+        if ctx.rank == 0:
+            record.setdefault(it, {})["t_start"] = ctx.sim.now
+        for s in range(config.steps):
+            comp = config.noise.compute_times(rng, 1,
+                                              config.compute_seconds)
+            yield from main.compute(float(comp[0]))
+            reqs = []
+            for e, nb in enumerate(nbrs):
+                if nb is None:
+                    continue
+                reqs.append((yield from comm.isend(
+                    main, nb, _step_tag(s, e), m)))
+                reqs.append((yield from comm.irecv(
+                    main, nb, _step_tag(s, opposite_edge(e)), m)))
+            if reqs:
+                yield from comm.wait_all(main, reqs)
+        yield from comm.barrier(main)
+        if ctx.rank == 0:
+            record[it]["t_end"] = ctx.sim.now
+
+
+def _multi_program(ctx, config: PatternConfig, grid: Halo2DGrid,
+                   record: Dict):
+    comm, main = ctx.comm, ctx.main
+    n = config.threads
+    strip_sizes = partition_sizes(config.message_bytes, n)
+    m = config.message_bytes
+    nbrs = [grid.neighbor(ctx.rank, e) for e in range(4)]
+    rng = ctx.rng("halo2d-noise")
+    for it in range(config.total_iterations):
+        yield from comm.barrier(main)
+        if ctx.rank == 0:
+            record.setdefault(it, {})["t_start"] = ctx.sim.now
+        for s in range(config.steps):
+            comp = config.noise.compute_times(rng, n,
+                                              config.compute_seconds)
+
+            def worker(tc, s=s, comp=comp):
+                tid = tc.thread_id
+                yield from tc.compute(float(comp[tid]))
+                reqs = []
+                for e, nb in enumerate(nbrs):
+                    if nb is None:
+                        continue
+                    pidx = _edge_partitions(e, tid, n)
+                    if pidx is None:
+                        continue
+                    axis, _ = EDGES_2D[e]
+                    size = strip_sizes[tid] if axis == 1 else m
+                    reqs.append((yield from comm.isend(
+                        tc, nb, _step_tag(s, e, pidx + 1), size)))
+                    reqs.append((yield from comm.irecv(
+                        tc, nb, _step_tag(s, opposite_edge(e), pidx + 1),
+                        size)))
+                if reqs:
+                    yield from comm.wait_all(tc, reqs)
+
+            team = yield from ctx.fork(n, worker)
+            yield from team.join()
+        yield from comm.barrier(main)
+        if ctx.rank == 0:
+            record[it]["t_end"] = ctx.sim.now
+
+
+def _partitioned_program(ctx, config: PatternConfig, grid: Halo2DGrid,
+                         record: Dict):
+    comm, main = ctx.comm, ctx.main
+    n = config.threads
+    m = config.message_bytes
+    nbrs = [grid.neighbor(ctx.rank, e) for e in range(4)]
+    rng = ctx.rng("halo2d-noise")
+    sends, recvs = {}, {}
+    for e, nb in enumerate(nbrs):
+        if nb is None:
+            continue
+        parts = _edge_partition_count(e, n)
+        sends[e] = yield from comm.psend_init(
+            main, nb, _PTAG_BASE + e, m, parts, impl=config.impl)
+        recvs[e] = yield from comm.precv_init(
+            main, nb, _PTAG_BASE + opposite_edge(e), m,
+            _edge_partition_count(opposite_edge(e), n), impl=config.impl)
+    for it in range(config.total_iterations):
+        yield from comm.barrier(main)
+        if ctx.rank == 0:
+            record.setdefault(it, {})["t_start"] = ctx.sim.now
+        for s in range(config.steps):
+            for r in recvs.values():
+                yield from r.start(main)
+            for r in sends.values():
+                yield from r.start(main)
+            comp = config.noise.compute_times(rng, n,
+                                              config.compute_seconds)
+
+            def worker(tc, comp=comp):
+                tid = tc.thread_id
+                yield from tc.compute(float(comp[tid]))
+                for e, ps in sends.items():
+                    pidx = _edge_partitions(e, tid, n)
+                    if pidx is not None:
+                        yield from ps.pready(tc, pidx)
+
+            team = yield from ctx.fork(n, worker)
+            yield from team.join()
+            for r in list(sends.values()) + list(recvs.values()):
+                yield from r.wait(main)
+        yield from comm.barrier(main)
+        if ctx.rank == 0:
+            record[it]["t_end"] = ctx.sim.now
+
+
+def run_halo2d(config: PatternConfig,
+               grid: Optional[Halo2DGrid] = None) -> PatternRunResult:
+    """Run the 5-point Halo2D motif; see :func:`run_halo3d` for semantics."""
+    grid = grid or Halo2DGrid(3, 3)
+    cluster = Cluster(
+        nranks=grid.nranks,
+        spec=config.spec,
+        inter_node=config.inter_node,
+        intra_node=config.intra_node,
+        costs=config.costs,
+        mode=config.threading_mode,
+        bind_policy=config.bind_policy,
+        seed=config.seed,
+    )
+    record: Dict[int, Dict] = {}
+    programs = {
+        CommMode.SINGLE: _single_program,
+        CommMode.MULTI: _multi_program,
+        CommMode.PARTITIONED: _partitioned_program,
+    }
+    body = programs[config.mode]
+
+    def program(ctx):
+        yield from body(ctx, config, grid, record)
+
+    cluster.run(program)
+    bytes_per_iter = (config.steps * config.message_bytes
+                      * grid.directed_edges())
+    elapsed = [record[it]["t_end"] - record[it]["t_start"]
+               for it in range(config.warmup, config.total_iterations)]
+    compute_cp = config.steps * config.compute_seconds
+    return PatternRunResult(config=config, nranks=grid.nranks,
+                            bytes_per_iteration=bytes_per_iter,
+                            compute_critical_path=compute_cp,
+                            elapsed=elapsed)

@@ -1,0 +1,21 @@
+"""SNAP proxy application, mpiP-style profiler, and the Fig. 13 projection."""
+
+from .mpip import CallSiteStats, MPIPProfiler, MPIPReport
+from .projection import (PAPER_COMM_SPEEDUP, SnapProjection,
+                         SnapProjectionRow, project_speedup, snap_projection)
+from .snap import SnapConfig, SnapRunResult, process_grid, run_snap
+
+__all__ = [
+    "CallSiteStats",
+    "MPIPProfiler",
+    "MPIPReport",
+    "PAPER_COMM_SPEEDUP",
+    "SnapProjection",
+    "SnapProjectionRow",
+    "project_speedup",
+    "snap_projection",
+    "SnapConfig",
+    "SnapRunResult",
+    "process_grid",
+    "run_snap",
+]

@@ -1,0 +1,158 @@
+"""An mpiP-style application profiler (the paper uses mpiP 3.5, §4.8).
+
+mpiP measures, per rank, the wall time spent inside MPI calls and reports
+the aggregate "MPI time %" of the application.  Our :class:`MPIPProfiler`
+does the same for simulated programs: wrap every MPI call in
+:meth:`timed` and bracket the run with :meth:`start_app` / :meth:`stop_app`;
+:class:`MPIPReport` then aggregates across ranks exactly like mpiP's
+summary section.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["MPIPProfiler", "CallSiteStats", "MPIPReport"]
+
+
+@dataclass
+class CallSiteStats:
+    """Accumulated time for one call site (mpiP's per-callsite rows)."""
+
+    name: str
+    calls: int = 0
+    total_time: float = 0.0
+
+    @property
+    def mean_time(self) -> float:
+        """Average seconds per call."""
+        return self.total_time / self.calls if self.calls else 0.0
+
+
+class MPIPProfiler:
+    """Per-rank profiler: wall time inside MPI vs total application time."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.sites: Dict[str, CallSiteStats] = {}
+        self._app_start: float = float("nan")
+        self._app_stop: float = float("nan")
+
+    def start_app(self) -> None:
+        """Mark the start of the profiled window."""
+        self._app_start = self.ctx.sim.now
+
+    def stop_app(self) -> None:
+        """Mark the end of the profiled window."""
+        self._app_stop = self.ctx.sim.now
+
+    def timed(self, gen, site: str):
+        """Generator: run one MPI-call generator, attributing its wall time.
+
+        Usage inside a program::
+
+            status = yield from prof.timed(
+                comm.recv(main, src, tag, nbytes), "recv")
+        """
+        start = self.ctx.sim.now
+        result = yield from gen
+        stats = self.sites.get(site)
+        if stats is None:
+            stats = self.sites[site] = CallSiteStats(site)
+        stats.calls += 1
+        stats.total_time += self.ctx.sim.now - start
+        return result
+
+    @property
+    def mpi_time(self) -> float:
+        """Total seconds this rank spent inside MPI calls."""
+        return sum(s.total_time for s in self.sites.values())
+
+    @property
+    def app_time(self) -> float:
+        """Wall seconds between start_app and stop_app."""
+        if self._app_start != self._app_start:  # NaN check
+            raise ConfigurationError("profiler window never started")
+        stop = self._app_stop
+        if stop != stop:
+            stop = self.ctx.sim.now
+        return stop - self._app_start
+
+    @property
+    def mpi_fraction(self) -> float:
+        """This rank's MPI-time share of its application time."""
+        app = self.app_time
+        return self.mpi_time / app if app > 0 else 0.0
+
+
+@dataclass
+class MPIPReport:
+    """Aggregate across ranks — mpiP's ``@--- MPI Time`` summary.
+
+    ``mpi_fraction`` is total-MPI-time over total-app-time, which is how
+    mpiP computes the headline percentage the paper's Figure 13 builds on.
+    """
+
+    rank_mpi_times: List[float]
+    rank_app_times: List[float]
+    sites: Dict[str, CallSiteStats] = field(default_factory=dict)
+
+    @classmethod
+    def from_profilers(cls, profilers: Iterable[MPIPProfiler]) -> "MPIPReport":
+        """Merge per-rank profilers into one report."""
+        profilers = list(profilers)
+        if not profilers:
+            raise ConfigurationError("no profilers to aggregate")
+        sites: Dict[str, CallSiteStats] = {}
+        for p in profilers:
+            for name, s in p.sites.items():
+                agg = sites.setdefault(name, CallSiteStats(name))
+                agg.calls += s.calls
+                agg.total_time += s.total_time
+        return cls(
+            rank_mpi_times=[p.mpi_time for p in profilers],
+            rank_app_times=[p.app_time for p in profilers],
+            sites=sites,
+        )
+
+    @property
+    def nranks(self) -> int:
+        """Number of profiled ranks."""
+        return len(self.rank_mpi_times)
+
+    @property
+    def mpi_fraction(self) -> float:
+        """Aggregate MPI time / aggregate app time."""
+        total_app = sum(self.rank_app_times)
+        return sum(self.rank_mpi_times) / total_app if total_app else 0.0
+
+    @property
+    def mpi_percent(self) -> float:
+        """The headline mpiP number."""
+        return 100.0 * self.mpi_fraction
+
+    def top_sites(self, k: int = 5) -> List[Tuple[str, CallSiteStats]]:
+        """The ``k`` most expensive call sites (mpiP's callsite table)."""
+        ranked = sorted(self.sites.items(),
+                        key=lambda kv: kv[1].total_time, reverse=True)
+        return ranked[:k]
+
+    def format(self) -> str:
+        """Render an mpiP-flavoured text summary."""
+        lines = [
+            "@--- MPI Time (aggregate) " + "-" * 34,
+            f"ranks: {self.nranks}   "
+            f"app: {sum(self.rank_app_times):.6f}s   "
+            f"mpi: {sum(self.rank_mpi_times):.6f}s   "
+            f"mpi%: {self.mpi_percent:.2f}",
+            "@--- Callsites (by total time) " + "-" * 29,
+        ]
+        for name, s in self.top_sites():
+            lines.append(f"  {name:<16s} calls={s.calls:<8d} "
+                         f"time={s.total_time:.6f}s "
+                         f"mean={s.mean_time * 1e6:.2f}us")
+        return "\n".join(lines)

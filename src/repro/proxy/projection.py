@@ -1,0 +1,96 @@
+"""Figure 13: projected speedup from porting SNAP to MPI Partitioned.
+
+The paper projects SNAP's gain by assuming its MPI send/receive time would
+speed up by the 15.1× factor measured for Sweep3D in §4.6, leaving the
+rest of the runtime unchanged — an Amdahl-style bound:
+
+    speedup(f) = 1 / ((1 - f) + f / s)
+
+where ``f`` is the mpiP-measured MPI-time fraction and ``s`` the
+communication speedup.  This module runs the SNAP proxy across node
+counts, extracts ``f`` per count, and applies the projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .snap import SnapConfig, SnapRunResult, run_snap
+
+__all__ = ["project_speedup", "SnapProjectionRow", "SnapProjection",
+           "snap_projection", "PAPER_COMM_SPEEDUP"]
+
+#: The Sweep3D partitioned-vs-single-threaded gain the paper measured.
+PAPER_COMM_SPEEDUP = 15.1
+
+
+def project_speedup(mpi_fraction: float, comm_speedup: float
+                    = PAPER_COMM_SPEEDUP) -> float:
+    """Amdahl projection: application speedup if MPI time shrinks by
+    ``comm_speedup``."""
+    if not (0.0 <= mpi_fraction <= 1.0):
+        raise ConfigurationError(
+            f"mpi_fraction must be in [0, 1]: {mpi_fraction}")
+    if comm_speedup <= 0:
+        raise ConfigurationError(
+            f"comm_speedup must be positive: {comm_speedup}")
+    return 1.0 / ((1.0 - mpi_fraction) + mpi_fraction / comm_speedup)
+
+
+@dataclass(frozen=True)
+class SnapProjectionRow:
+    """One node count's measurement and projection."""
+
+    nodes: int
+    mpi_percent: float
+    projected_speedup: float
+    elapsed: float
+
+
+@dataclass
+class SnapProjection:
+    """The full Figure-13 series."""
+
+    comm_speedup: float
+    rows: List[SnapProjectionRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Text table matching the figure's series."""
+        lines = [
+            f"SNAP -> MPI Partitioned projection "
+            f"(comm speedup {self.comm_speedup:g}x)",
+            f"{'nodes':>6}  {'MPI %':>7}  {'speedup':>8}",
+            f"{'-' * 6}  {'-' * 7}  {'-' * 8}",
+        ]
+        for row in self.rows:
+            lines.append(f"{row.nodes:>6}  {row.mpi_percent:>6.1f}%  "
+                         f"{row.projected_speedup:>7.2f}x")
+        return "\n".join(lines)
+
+
+def snap_projection(node_counts: Sequence[int] = (2, 4, 8, 16, 32, 64,
+                                                  128, 256),
+                    comm_speedup: float = PAPER_COMM_SPEEDUP,
+                    base_config: Optional[SnapConfig] = None,
+                    ) -> SnapProjection:
+    """Run the SNAP proxy at each node count and project the speedup.
+
+    ``base_config`` overrides the proxy's workload parameters; its
+    ``nodes`` field is replaced per count.
+    """
+    if not node_counts:
+        raise ConfigurationError("need at least one node count")
+    base = base_config or SnapConfig(nodes=node_counts[0])
+    projection = SnapProjection(comm_speedup=comm_speedup)
+    for nodes in node_counts:
+        result: SnapRunResult = run_snap(base.with_overrides(nodes=nodes))
+        f = result.mpi_fraction
+        projection.rows.append(SnapProjectionRow(
+            nodes=nodes,
+            mpi_percent=100.0 * f,
+            projected_speedup=project_speedup(f, comm_speedup),
+            elapsed=result.elapsed,
+        ))
+    return projection

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel provides:
+
+* :class:`Simulator` — the virtual-time event loop.
+* :class:`Process` / :class:`Event` / :class:`Timeout` — coroutine plumbing.
+* :class:`Resource` / :class:`Mutex` / :class:`Store` — contended objects.
+* :class:`RandomStreams` — named, reproducible RNG streams.
+* :class:`TraceRecorder` — timestamped event logs that metrics are computed
+  from.
+
+Everything above the kernel (machine, network, MPI runtime) is expressed in
+terms of these primitives, so the entire benchmark suite is deterministic
+given a master seed.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from .resources import Mutex, MutexStats, Resource, Store
+from .rng import RandomStreams
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "Mutex",
+    "MutexStats",
+    "Resource",
+    "Store",
+    "RandomStreams",
+    "TraceRecord",
+    "TraceRecorder",
+]

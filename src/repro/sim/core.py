@@ -1,0 +1,452 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine event loop in the style of SimPy,
+purpose-built for simulating multi-threaded MPI programs in *virtual time*.
+Simulated entities (threads, NICs, progress engines) are :class:`Process`
+objects wrapping Python generators.  A process advances by ``yield``-ing
+:class:`Event` objects; the kernel resumes it when the event triggers.
+
+Determinism
+-----------
+Two runs with the same seeds produce bit-identical schedules.  The event
+queue breaks time ties with a monotonically increasing sequence number, so
+insertion order is the tie-break and no ordering ever depends on hash
+randomization or object identity.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(proc(sim, "b", 2.0))
+>>> _ = sim.process(proc(sim, "a", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'a'), (2.0, 'b')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Simulator",
+    "AnyOf",
+    "AllOf",
+]
+
+#: Sentinel marking an event whose value has not been set yet.
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening in simulated time that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it: the kernel schedules it at the current simulation time and,
+    when it is popped from the queue, runs the registered callbacks (which is
+    how waiting processes get resumed).
+
+    Events are single-shot: triggering twice raises :class:`SimulationError`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables ``cb(event)`` invoked when the event is processed.
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the kernel has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or the exception, for a failed event)."""
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have the exception thrown at their ``yield``
+        statement.  If nothing waits on a failed event, the simulator raises
+        the exception at the end of the step (mirroring SimPy's "unhandled
+        failure" behaviour) unless :meth:`defused` is set.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if no process waits on it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=self.delay)
+
+
+class _Initialize(Event):
+    """Internal event used to kick a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        sim._schedule(self, priority=-1)
+
+
+class Process(Event):
+    """A simulated activity wrapping a generator.
+
+    The process is itself an :class:`Event` that triggers when the generator
+    returns (successfully, with the ``return`` value as payload) or raises
+    (a failure, with the exception as payload).
+    """
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "throw"):
+            raise TypeError(f"process target must be a generator, got {gen!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        #: The event this process is currently waiting on (None if running).
+        self._target: Optional[Event] = None
+        init = _Initialize(sim)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._target is None:
+            raise SimulationError(
+                f"cannot interrupt process {self.name} from within itself")
+        # Detach from the event we were waiting on, then resume immediately
+        # with the interrupt.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        hit = Event(self.sim)
+        hit._ok = False
+        hit._value = Interrupt(cause)
+        hit._defused = True
+        hit.callbacks = [self._resume]
+        self.sim._schedule(hit)
+
+    # -- kernel plumbing --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active_proc = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_ev = self.gen.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_ev = self.gen.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.sim._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.sim._schedule(self)
+                break
+
+            if not isinstance(next_ev, Event):
+                exc2 = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_ev!r}")
+                try:
+                    self.gen.throw(exc2)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    self.sim._schedule(self)
+                    break
+                except BaseException as raised:
+                    self._ok = False
+                    self._value = raised
+                    self.sim._schedule(self)
+                    break
+                continue
+
+            if next_ev.callbacks is None:
+                # Already processed: loop synchronously with its value.
+                event = next_ev
+                continue
+
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+            break
+        self.sim._active_proc = None
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of sub-events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans multiple simulators")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev._value is not _PENDING and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _finish(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Triggers when *all* sub-events have triggered (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self._finish(event)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self._finish(event)
+
+
+class AnyOf(Condition):
+    """Triggers when *any* sub-event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._finish(event)
+
+
+class Simulator:
+    """The event loop: a priority queue of events in virtual time.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``trace(time, event)`` invoked for every processed
+        event; used by :mod:`repro.sim.trace` to record schedules.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, Event], None]] = None):
+        self._now = 0.0
+        self._queue: list = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+        self._trace = trace
+        #: Number of events processed so far (monotone counter, useful in tests).
+        self.events_processed = 0
+
+    # -- public API -----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_proc
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator and return its handle."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: first of ``events`` to trigger."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all of ``events`` triggered."""
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None,
+            detect_deadlock: bool = False) -> None:
+        """Run until the queue drains or simulated time passes ``until``.
+
+        With ``detect_deadlock=True`` a drained queue before ``until`` raises
+        :class:`~repro.errors.DeadlockError` — useful when simulating MPI
+        programs that must terminate on their own.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self._step()
+        if detect_deadlock and until is not None and self._now < until:
+            raise DeadlockError(
+                f"event queue drained at t={self._now} before until={until}")
+
+    def run_until_complete(self, proc: Process,
+                           limit: Optional[float] = None) -> Any:
+        """Run until ``proc`` finishes and return its value (re-raising failures)."""
+        while not proc.triggered:
+            if not self._queue:
+                raise DeadlockError(
+                    f"process {proc.name!r} cannot complete: queue drained "
+                    f"at t={self._now}")
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"process {proc.name!r} did not finish by t={limit}")
+            self._step()
+        # Drain same-time stragglers of the completing event itself.
+        if not proc.processed:
+            self._step_until_processed(proc)
+        if proc._ok:
+            return proc._value
+        raise proc._value
+
+    # -- internals ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = 0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _step(self) -> None:
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - internal invariant
+            raise SimulationError("time ran backwards")
+        self._now = when
+        self.events_processed += 1
+        if self._trace is not None:
+            self._trace(when, event)
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused and not callbacks:
+            raise event._value
+
+    def _step_until_processed(self, event: Event) -> None:
+        while not event.processed and self._queue:
+            self._step()

@@ -1,0 +1,106 @@
+"""Event tracing for simulations.
+
+A :class:`TraceRecorder` collects timestamped, typed records emitted by
+instrumented components (MPI runtime, NIC, threads).  The metric
+definitions in :mod:`repro.metrics` are computed from these traces, exactly
+as the paper computes its metrics from timestamps taken around
+``MPI_Pready`` / ``MPI_Parrived`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the record, in seconds.
+    kind:
+        Dotted category string, e.g. ``"part.pready"`` or ``"nic.tx_done"``.
+    data:
+        Free-form payload (partition index, message size, rank, ...).
+    """
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """An append-only log of :class:`TraceRecord` entries.
+
+    Components call :meth:`emit`; analyses use :meth:`filter`,
+    :meth:`first` and :meth:`last` to pull out the timestamps they need.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self._enabled = True
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`emit` currently records anything."""
+        return self._enabled
+
+    def disable(self) -> None:
+        """Stop recording (emit becomes a no-op)."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        """Resume recording."""
+        self._enabled = True
+
+    def clear(self) -> None:
+        """Drop all records (e.g. between warm-up and measured iterations)."""
+        self.records.clear()
+
+    def emit(self, time: float, kind: str, **data: Any) -> None:
+        """Append one record if tracing is enabled."""
+        if self._enabled:
+            self.records.append(TraceRecord(time, kind, data))
+
+    def filter(self, kind: str, **match: Any) -> List[TraceRecord]:
+        """All records of ``kind`` whose data contains every ``match`` item."""
+        out = []
+        for rec in self.records:
+            if rec.kind != kind:
+                continue
+            if all(rec.data.get(k) == v for k, v in match.items()):
+                out.append(rec)
+        return out
+
+    def times(self, kind: str, **match: Any) -> List[float]:
+        """Timestamps of all matching records, in emission order."""
+        return [rec.time for rec in self.filter(kind, **match)]
+
+    def first(self, kind: str, **match: Any) -> Optional[TraceRecord]:
+        """Earliest matching record, or None."""
+        recs = self.filter(kind, **match)
+        return min(recs, key=lambda r: r.time) if recs else None
+
+    def last(self, kind: str, **match: Any) -> Optional[TraceRecord]:
+        """Latest matching record, or None."""
+        recs = self.filter(kind, **match)
+        return max(recs, key=lambda r: r.time) if recs else None
+
+    def span(self, kind_a: str, kind_b: str) -> Optional[Tuple[float, float]]:
+        """(first time of ``kind_a``, last time of ``kind_b``) or None."""
+        a = self.first(kind_a)
+        b = self.last(kind_b)
+        if a is None or b is None:
+            return None
+        return (a.time, b.time)

@@ -1,0 +1,16 @@
+"""Simulated OpenMP-style threading: contexts, teams, fork/join costs."""
+
+from .barrier import SimBarrier
+from .openmp import DEFAULT_OPENMP_COSTS, OpenMPCosts
+from .stream import DeviceStream, KernelHandle
+from .team import ThreadContext, ThreadTeam
+
+__all__ = [
+    "SimBarrier",
+    "DeviceStream",
+    "KernelHandle",
+    "DEFAULT_OPENMP_COSTS",
+    "OpenMPCosts",
+    "ThreadContext",
+    "ThreadTeam",
+]

@@ -1,0 +1,56 @@
+"""A reusable (generational) barrier for simulated thread teams.
+
+Models the ``#pragma omp barrier`` inside a parallel region: the paper's
+fork-join point-to-point motifs synchronize the team between their
+receive and compute phases, which is precisely the synchronization
+partitioned communication lets applications drop.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim import Event, Simulator
+
+__all__ = ["SimBarrier"]
+
+
+class SimBarrier:
+    """Counting barrier for ``parties`` simulated threads, reusable.
+
+    Each generation completes when all parties have called :meth:`wait`
+    (a generator to ``yield from``); the barrier then resets for the next
+    generation, like ``pthread_barrier_t``.
+    """
+
+    def __init__(self, sim: Simulator, parties: int,
+                 cost_per_party: float = 0.05e-6):
+        if parties < 1:
+            raise ConfigurationError(f"parties must be >= 1: {parties}")
+        self.sim = sim
+        self.parties = parties
+        #: Simulated cost of the barrier's notification fan-out, charged to
+        #: the last arriver.
+        self.cost_per_party = cost_per_party
+        self._count = 0
+        self._generation = 0
+        self._event = Event(sim)
+
+    @property
+    def waiting(self) -> int:
+        """Threads currently blocked in the barrier."""
+        return self._count
+
+    def wait(self):
+        """Generator: block until all parties of this generation arrive."""
+        self._count += 1
+        if self._count == self.parties:
+            # Last arriver releases everyone and pays the fan-out cost.
+            self._count = 0
+            self._generation += 1
+            event, self._event = self._event, Event(self.sim)
+            cost = self.cost_per_party * self.parties
+            if cost > 0:
+                yield self.sim.timeout(cost)
+            event.succeed(self._generation)
+        else:
+            yield self._event

@@ -1,0 +1,52 @@
+"""OpenMP-like runtime cost model for simulated parallel regions.
+
+Fork/join overheads are the small fixed costs of ``#pragma omp parallel``:
+waking the team and the implicit barrier at region end.  They matter for
+the paper's metrics because the single-send model's "thread join" moment —
+the reference point of the availability and early-bird metrics (§3.1.3,
+§3.1.4) — includes exactly this barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["OpenMPCosts", "DEFAULT_OPENMP_COSTS"]
+
+
+@dataclass(frozen=True)
+class OpenMPCosts:
+    """Fork/join costs of the simulated OpenMP runtime.
+
+    Attributes
+    ----------
+    fork_base / fork_per_thread:
+        Cost of opening a parallel region: a fixed wake-up plus a
+        per-thread dispatch component.
+    join_base / join_per_thread:
+        Cost of the implicit end-of-region barrier once the last thread
+        finishes.
+    """
+
+    fork_base: float = 1.5e-6
+    fork_per_thread: float = 0.15e-6
+    join_base: float = 1.0e-6
+    join_per_thread: float = 0.10e-6
+
+    def fork_cost(self, nthreads: int) -> float:
+        """Seconds to open a region with ``nthreads`` threads."""
+        if nthreads < 1:
+            raise ConfigurationError(f"nthreads must be >= 1: {nthreads}")
+        return self.fork_base + nthreads * self.fork_per_thread
+
+    def join_cost(self, nthreads: int) -> float:
+        """Seconds for the implicit barrier after the last thread finishes."""
+        if nthreads < 1:
+            raise ConfigurationError(f"nthreads must be >= 1: {nthreads}")
+        return self.join_base + nthreads * self.join_per_thread
+
+
+#: Defaults in line with measured ``omp parallel`` overheads on Skylake.
+DEFAULT_OPENMP_COSTS = OpenMPCosts()

@@ -1,0 +1,125 @@
+"""Simulated device work queues (``cudaStream_t`` / ``sycl::queue`` analogue).
+
+The paper's §6.1 lists triggering ``MPI_Pready`` from accelerator compute
+kernels or task queues as future work.  This module provides the substrate
+to prototype exactly that: an in-order :class:`DeviceStream` executes
+kernels back to back; each kernel's completion can fire a host-side
+callback or run a *trigger generator* — e.g. a lock-free native
+``pready`` — without any host thread blocking on the device.
+
+This is an extension beyond the paper's evaluation; the example
+``examples/gpu_stream_partitioned.py`` and the tests exercise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from ..errors import ConfigurationError
+from ..sim import Event, Simulator, Store
+from .team import ThreadContext
+
+__all__ = ["DeviceStream", "KernelHandle"]
+
+
+@dataclass
+class KernelHandle:
+    """Handle on one enqueued kernel.
+
+    ``done`` triggers when the kernel finishes on the device (after which
+    any trigger generator has been *started*, not necessarily finished).
+    """
+
+    name: str
+    duration: float
+    done: Event
+
+
+class DeviceStream:
+    """An in-order device queue bound to one rank.
+
+    Parameters
+    ----------
+    rank_ctx:
+        The owning rank's context; the stream's trigger actor issues MPI
+        calls as a pseudo-thread pinned to the NIC socket (device DMA
+        engines do not pay the CPU's cross-socket penalty).
+    launch_overhead:
+        Host-side cost to enqueue one kernel (a launch is cheap but not
+        free).
+    queue_gap:
+        Device-side gap between back-to-back kernels.
+    """
+
+    def __init__(self, rank_ctx: Any, launch_overhead: float = 4.0e-6,
+                 queue_gap: float = 1.0e-6, name: str = "stream0"):
+        if launch_overhead < 0 or queue_gap < 0:
+            raise ConfigurationError("stream costs must be non-negative")
+        self.rank_ctx = rank_ctx
+        self.sim: Simulator = rank_ctx.sim
+        self.launch_overhead = launch_overhead
+        self.queue_gap = queue_gap
+        self.name = name
+        #: The device-side actor identity used for triggered MPI calls.
+        device_core = (rank_ctx.spec.nic_socket
+                       * rank_ctx.spec.cores_per_socket)
+        self.device_tc = ThreadContext(rank_ctx, thread_id=0,
+                                       core=device_core, team=None)
+        self._queue: Store = Store(self.sim, name=f"{name}.q")
+        self._inflight = 0
+        self._idle = Event(self.sim)
+        self._idle.succeed()
+        self.kernels_completed = 0
+        self.sim.process(self._device_loop(), name=f"r{rank_ctx.rank}.{name}")
+
+    # -- host-side API ----------------------------------------------------
+    def launch(self, tc, duration: float, name: str = "kernel",
+               on_complete: Optional[Callable[[], Generator]] = None):
+        """Generator: enqueue a kernel from host thread ``tc``.
+
+        ``on_complete`` — if given — is a zero-argument callable returning
+        a generator; it runs as its own simulated process when the kernel
+        finishes (the device-triggered action, e.g. a ``pready``).
+        Returns a :class:`KernelHandle` immediately after the (cheap)
+        launch; the host never blocks on the device.
+        """
+        if duration < 0:
+            raise ConfigurationError(f"negative kernel duration: {duration}")
+        yield self.sim.timeout(self.launch_overhead)
+        handle = KernelHandle(name=name, duration=duration,
+                              done=Event(self.sim))
+        if self._inflight == 0:
+            self._idle = Event(self.sim)
+        self._inflight += 1
+        self._queue.put((handle, on_complete))
+        return handle
+
+    def synchronize(self, tc):
+        """Generator: block the host thread until the stream drains
+        (``cudaStreamSynchronize``)."""
+        if self._inflight > 0:
+            yield self._idle
+
+    @property
+    def pending(self) -> int:
+        """Kernels launched but not yet completed."""
+        return self._inflight
+
+    # -- device side --------------------------------------------------------
+    def _device_loop(self):
+        while True:
+            handle, on_complete = yield self._queue.get()
+            if self.queue_gap > 0:
+                yield self.sim.timeout(self.queue_gap)
+            if handle.duration > 0:
+                yield self.sim.timeout(handle.duration)
+            self.kernels_completed += 1
+            handle.done.succeed(self.sim.now)
+            if on_complete is not None:
+                self.sim.process(
+                    on_complete(),
+                    name=f"r{self.rank_ctx.rank}.{self.name}.trigger")
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.succeed(self.sim.now)

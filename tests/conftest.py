@@ -1,0 +1,43 @@
+"""Shared fixtures: small, fast configurations for the heavier layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PtpBenchmarkConfig
+from repro.mpi import Cluster, ThreadingMode
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulation kernel."""
+    return Simulator()
+
+
+@pytest.fixture
+def two_rank_cluster():
+    """Two ranks on two nodes, MULTIPLE threading (the benchmark setup)."""
+    return Cluster(nranks=2, mode=ThreadingMode.MULTIPLE, seed=7)
+
+
+@pytest.fixture
+def quick_config():
+    """A cheap point-to-point benchmark configuration."""
+    return PtpBenchmarkConfig(message_bytes=64 * 1024, partitions=4,
+                              compute_seconds=0.001, iterations=2,
+                              warmup=1, seed=3)
+
+
+def run_two_ranks(sender, receiver, **cluster_kwargs):
+    """Utility: run distinct generators on ranks 0 and 1."""
+    cluster = Cluster(nranks=2, **cluster_kwargs)
+
+    def program(ctx):
+        if ctx.rank == 0:
+            result = yield from sender(ctx)
+        else:
+            result = yield from receiver(ctx)
+        return result
+
+    return cluster, cluster.run(program)

@@ -1,0 +1,59 @@
+"""``MPI_Cancel`` semantics on pending receives."""
+
+import pytest
+
+from repro.mpi import Cluster
+
+
+class TestCancel:
+    def test_cancel_unmatched_receive(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.comm.irecv(ctx.main, 1, 99, 64)
+                ok = yield from ctx.comm.cancel(ctx.main, req)
+                yield req.wait()
+                return (ok, req.status.cancelled, req.status.nbytes)
+            yield ctx.sim.timeout(1e-6)
+
+        results = Cluster(nranks=2).run(program)
+        assert results[0] == (True, True, 0)
+
+    def test_cancel_completed_receive_fails(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(ctx.main, 1, 5, 64, payload="v")
+            else:
+                req = yield from ctx.comm.irecv(ctx.main, 0, 5, 64)
+                yield req.wait()
+                ok = yield from ctx.comm.cancel(ctx.main, req)
+                return (ok, req.status.cancelled, req.status.payload)
+
+        results = Cluster(nranks=2).run(program)
+        assert results[1] == (False, False, "v")
+
+    def test_cancelled_receive_never_matches_late_message(self):
+        """A message arriving after the cancel must match the *next*
+        receive on that envelope, not the cancelled one."""
+        def program(ctx):
+            if ctx.rank == 0:
+                first = yield from ctx.comm.irecv(ctx.main, 1, 5, 64)
+                ok = yield from ctx.comm.cancel(ctx.main, first)
+                assert ok
+                status = yield from ctx.comm.recv(ctx.main, 1, 5, 64)
+                return status.payload
+            yield ctx.sim.timeout(1e-3)
+            yield from ctx.comm.send(ctx.main, 0, 5, 64, payload="late")
+
+        results = Cluster(nranks=2).run(program)
+        assert results[0] == "late"
+
+    def test_cancel_emits_trace(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.comm.irecv(ctx.main, 1, 7, 64)
+                yield from ctx.comm.cancel(ctx.main, req)
+            yield ctx.sim.timeout(1e-6)
+
+        cluster = Cluster(nranks=2)
+        cluster.run(program)
+        assert cluster.trace.filter("recv.cancelled", tag=7)

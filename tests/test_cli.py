@@ -1,0 +1,74 @@
+"""CLI: argument parsing and end-to-end command output."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_all_figures_registered(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args([name])
+            assert args.command == name
+            assert args.full is False
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["fig4", "--full"])
+        assert args.full is True
+
+    def test_metrics_required_args(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["metrics"])
+        args = parser.parse_args(
+            ["metrics", "--message-bytes", "1024", "--partitions", "4"])
+        assert args.message_bytes == 1024
+        assert args.partitions == 4
+        assert args.noise == "none"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_metrics_prints_all_four(self, capsys):
+        code = main(["metrics", "--message-bytes", "65536",
+                     "--partitions", "4", "--compute-ms", "1",
+                     "--noise", "uniform", "--iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for phrase in ("overhead", "perceived bandwidth",
+                       "application availability", "early-bird"):
+            assert phrase in out
+
+    def test_metrics_native_impl(self, capsys):
+        assert main(["metrics", "--message-bytes", "65536",
+                     "--partitions", "4", "--compute-ms", "1",
+                     "--impl", "native", "--iterations", "2"]) == 0
+        assert "native" in capsys.readouterr().out
+
+    def test_advisor(self, capsys):
+        code = main(["advisor", "--message-bytes", "262144",
+                     "--compute-ms", "2", "--iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended partitions" in out
+        assert "<-- recommended" in out
+
+    def test_fig7_runs_quick(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "single" in out and "gaussian" in out
+
+    def test_fig13_runs_quick(self, capsys):
+        assert main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "256" in out

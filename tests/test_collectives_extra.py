@@ -1,0 +1,158 @@
+"""reduce/gather/scatter collectives plus waitany/testany helpers."""
+
+import pytest
+
+from repro.errors import MPIError, RequestStateError
+from repro.mpi import Cluster, waitany
+from repro.mpi import testany as check_any
+
+
+def _run(program, nranks, **kwargs):
+    return Cluster(nranks=nranks, **kwargs).run(program)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("nranks,root", [(2, 0), (4, 2), (5, 0),
+                                             (7, 3), (8, 7)])
+    def test_sum_at_root_only(self, nranks, root):
+        def program(ctx):
+            value = yield from ctx.comm.reduce(ctx.main, root, 64,
+                                               value=float(ctx.rank))
+            return value
+
+        results = _run(program, nranks)
+        for rank, value in enumerate(results):
+            if rank == root:
+                assert value == float(sum(range(nranks)))
+            else:
+                assert value is None
+
+    def test_custom_op(self):
+        def program(ctx):
+            value = yield from ctx.comm.reduce(ctx.main, 0, 64,
+                                               value=ctx.rank, op=max)
+            return value
+
+        assert _run(program, 5)[0] == 4
+
+    def test_single_rank(self):
+        def program(ctx):
+            value = yield from ctx.comm.reduce(ctx.main, 0, 64, value=9.0)
+            return value
+
+        assert _run(program, 1) == [9.0]
+
+    def test_bad_root(self):
+        def program(ctx):
+            yield from ctx.comm.reduce(ctx.main, 5, 64)
+
+        with pytest.raises(MPIError):
+            _run(program, 2)
+
+
+class TestGather:
+    @pytest.mark.parametrize("nranks,root", [(2, 1), (4, 0), (5, 4)])
+    def test_everything_arrives_at_root(self, nranks, root):
+        def program(ctx):
+            out = yield from ctx.comm.gather(ctx.main, root, 64,
+                                             value=ctx.rank * 2)
+            return out
+
+        results = _run(program, nranks)
+        assert results[root] == [r * 2 for r in range(nranks)]
+        for rank, out in enumerate(results):
+            if rank != root:
+                assert out is None
+
+
+class TestScatter:
+    @pytest.mark.parametrize("nranks,root", [(2, 0), (4, 3), (5, 2)])
+    def test_each_rank_gets_its_share(self, nranks, root):
+        def program(ctx):
+            values = ([f"item{r}" for r in range(ctx.size)]
+                      if ctx.rank == root else None)
+            share = yield from ctx.comm.scatter(ctx.main, root, 64,
+                                                values=values)
+            return share
+
+        results = _run(program, nranks)
+        assert results == [f"item{r}" for r in range(nranks)]
+
+    def test_root_without_values_raises(self):
+        def program(ctx):
+            yield from ctx.comm.scatter(ctx.main, 0, 64, values=None)
+
+        with pytest.raises(MPIError):
+            _run(program, 2)
+
+
+class TestWaitAnyTestAny:
+    def test_waitany_returns_on_first_completion(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.sim.timeout(1e-3)
+                yield from ctx.comm.send(ctx.main, 1, 1, 64)   # fast tag 1
+                yield ctx.sim.timeout(5e-3)
+                yield from ctx.comm.send(ctx.main, 1, 0, 64)   # slow tag 0
+            else:
+                slow = yield from ctx.comm.irecv(ctx.main, 0, 0, 64)
+                fast = yield from ctx.comm.irecv(ctx.main, 0, 1, 64)
+                yield waitany(ctx.sim, [slow, fast])
+                first = check_any([slow, fast])
+                yield slow.wait()
+                return first
+
+        results = _run(program, 2)
+        assert results[1] == 1  # the fast request completed first
+
+    def test_testany_none_when_pending(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.comm.irecv(ctx.main, 1, 0, 64)
+                before = check_any([req])
+                yield from ctx.comm.send(ctx.main, 1, 1, 64)
+                yield req.wait()
+                return (before, check_any([req]))
+            yield from ctx.comm.recv(ctx.main, 0, 1, 64)
+            yield from ctx.comm.send(ctx.main, 0, 0, 64)
+
+        results = _run(program, 2)
+        assert results[0] == (None, 0)
+
+    def test_waitany_empty_rejected(self, sim):
+        with pytest.raises(RequestStateError):
+            waitany(sim, [])
+
+
+class TestPreadyList:
+    def test_pready_list_delivers_all(self):
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.psend_init(main, 1, 5, 4096, 4)
+                yield from ps.start(main)
+                yield from ps.pready_list(main, [3, 1, 0, 2])
+                yield from ps.wait(main)
+            else:
+                pr = yield from comm.precv_init(main, 0, 5, 4096, 4)
+                yield from pr.start(main)
+                yield from pr.wait(main)
+                return pr.arrived_count
+
+        assert _run(program, 2)[1] == 4
+
+    def test_duplicates_rejected(self):
+        from repro.errors import PartitionError
+
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.psend_init(main, 1, 5, 4096, 4)
+                yield from ps.start(main)
+                yield from ps.pready_list(main, [0, 0])
+            else:
+                pr = yield from comm.precv_init(main, 0, 5, 4096, 4)
+                yield from pr.start(main)
+
+        with pytest.raises(PartitionError, match="duplicate"):
+            _run(program, 2)

@@ -1,0 +1,71 @@
+"""The partition-count advisor."""
+
+import pytest
+
+from repro.core import (OBJECTIVES, PtpBenchmarkConfig, Recommendation,
+                        recommend_partitions)
+from repro.errors import ConfigurationError
+from repro.noise import SingleThreadNoise
+
+
+@pytest.fixture(scope="module")
+def quick_base():
+    return PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                              compute_seconds=2e-3, iterations=2)
+
+
+class TestRecommendation:
+    def test_returns_candidate_with_results(self, quick_base):
+        rec = recommend_partitions(
+            message_bytes=1 << 20, compute_seconds=2e-3,
+            noise=SingleThreadNoise(4.0), candidates=[1, 4, 8],
+            base_config=quick_base)
+        assert rec.partitions in (1, 4, 8)
+        assert set(rec.scores) == {1, 4, 8}
+        assert set(rec.results) == {1, 4, 8}
+        assert rec.explain()
+
+    def test_best_has_max_score(self, quick_base):
+        rec = recommend_partitions(
+            message_bytes=1 << 18, compute_seconds=2e-3,
+            noise=SingleThreadNoise(4.0), candidates=[2, 8],
+            objective="availability", base_config=quick_base)
+        assert rec.scores[rec.partitions] == max(rec.scores.values())
+
+    def test_overhead_objective_prefers_fewer_partitions_small_msgs(
+            self, quick_base):
+        rec = recommend_partitions(
+            message_bytes=256, compute_seconds=2e-3,
+            noise=SingleThreadNoise(4.0), candidates=[1, 16],
+            objective="overhead", base_config=quick_base)
+        # Small messages are latency-bound: splitting 16 ways costs ~16x.
+        assert rec.partitions == 1
+
+    def test_spillover_warning_in_rationale(self, quick_base):
+        rec = recommend_partitions(
+            message_bytes=1 << 20, compute_seconds=2e-3,
+            noise=SingleThreadNoise(4.0), candidates=[32],
+            base_config=quick_base)
+        assert any("socket" in line for line in rec.rationale)
+
+    def test_unknown_objective_rejected(self, quick_base):
+        with pytest.raises(ConfigurationError):
+            recommend_partitions(1024, 1e-3, SingleThreadNoise(4.0),
+                                 objective="vibes",
+                                 base_config=quick_base)
+
+    def test_infeasible_message_rejected(self, quick_base):
+        with pytest.raises(ConfigurationError):
+            recommend_partitions(2, 1e-3, SingleThreadNoise(4.0),
+                                 candidates=[4, 8],
+                                 base_config=quick_base)
+
+    def test_default_candidates_are_powers_of_two(self, quick_base):
+        rec = recommend_partitions(
+            message_bytes=1 << 16, compute_seconds=1e-3,
+            noise=SingleThreadNoise(4.0), base_config=quick_base)
+        assert all(n & (n - 1) == 0 for n in rec.scores)
+        assert max(rec.scores) <= quick_base.spec.cores_per_node
+
+    def test_objectives_constant(self):
+        assert set(OBJECTIVES) == {"availability", "overhead", "balanced"}

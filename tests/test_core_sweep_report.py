@@ -1,0 +1,129 @@
+"""Sweeps, report tables, and the per-figure drivers."""
+
+import pytest
+
+from repro.core import (METRIC_NAMES, PtpBenchmarkConfig, SweepResult,
+                        ascii_table, fig7_noise_models, format_bytes,
+                        format_seconds, metric_table, series_table,
+                        sweep_ptp)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    base = PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                              compute_seconds=1e-4, iterations=2)
+    return sweep_ptp(base, message_sizes=[1024, 65536],
+                     partition_counts=[1, 4])
+
+
+class TestSweep:
+    def test_grid_coverage(self, small_sweep):
+        assert small_sweep.message_sizes == [1024, 65536]
+        assert small_sweep.partition_counts == [1, 4]
+        assert len(small_sweep.points) == 4
+
+    def test_series_layout(self, small_sweep):
+        series = small_sweep.series("overhead")
+        assert set(series) == {1, 4}
+        assert [m for m, _ in series[1]] == [1024, 65536]
+
+    def test_value_lookup(self, small_sweep):
+        v = small_sweep.value("overhead", 1024, 4)
+        assert v > 0
+
+    def test_missing_point_raises(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.point(123, 1)
+
+    def test_unknown_metric_raises(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            small_sweep.series("latency")
+
+    def test_infeasible_cells_skipped(self):
+        base = PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                                  compute_seconds=1e-4, iterations=1)
+        sweep = sweep_ptp(base, message_sizes=[2, 1024],
+                          partition_counts=[4])
+        assert len(sweep.points) == 1  # 2-byte message can't be split in 4
+
+    def test_empty_grid_rejected(self):
+        base = PtpBenchmarkConfig(message_bytes=64, partitions=1)
+        with pytest.raises(ConfigurationError):
+            sweep_ptp(base, [], [1])
+
+    def test_progress_callback_called(self):
+        base = PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                                  compute_seconds=1e-4, iterations=1)
+        seen = []
+        sweep_ptp(base, [1024], [1, 2], progress=seen.append)
+        assert len(seen) == 2
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(64) == "64B"
+        assert format_bytes(4096) == "4KiB"
+        assert format_bytes(16 * 1024 * 1024) == "16MiB"
+        assert format_bytes(1536) == "1.5KiB"
+        with pytest.raises(ConfigurationError):
+            format_bytes(-1)
+
+    def test_format_seconds(self):
+        assert format_seconds(1.5e-6) == "1.50us"
+        assert format_seconds(2.5e-3) == "2.50ms"
+        assert format_seconds(1.25) == "1.250s"
+        with pytest.raises(ConfigurationError):
+            format_seconds(-1.0)
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "bbb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # fixed width
+
+    def test_ascii_table_validates(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table([], [])
+        with pytest.raises(ConfigurationError):
+            ascii_table(["a"], [["1", "2"]])
+
+    def test_metric_table_contains_all_cells(self, small_sweep):
+        text = metric_table(small_sweep, "overhead")
+        assert "1KiB" in text and "64KiB" in text
+        assert text.count("\n") >= 3
+
+    def test_metric_table_unknown_metric(self, small_sweep):
+        with pytest.raises(ConfigurationError):
+            metric_table(small_sweep, "nope")
+
+    def test_series_table(self):
+        text = series_table(
+            {"partitioned": [(1024, 5e9)], "single": [(1024, 1e9)]},
+            value_label="GB/s", scale=1e-9)
+        assert "partitioned" in text and "single" in text
+        assert "5.00" in text and "1.00" in text
+
+    def test_series_table_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_table({}, "x")
+
+
+class TestFigureDrivers:
+    def test_fig7_structure(self):
+        panels = fig7_noise_models(
+            quick=True, sizes=[4096], partitions=4)
+        assert set(panels) == {0.010, 0.100}
+        for comp, by_model in panels.items():
+            assert set(by_model) == {"single", "uniform", "gaussian"}
+            for sweep in by_model.values():
+                assert isinstance(sweep, SweepResult)
+                assert sweep.partition_counts == [4]
+
+    def test_metric_names_cover_the_four_paper_metrics(self):
+        assert set(METRIC_NAMES) == {
+            "overhead", "perceived_bandwidth",
+            "application_availability", "early_bird_fraction"}

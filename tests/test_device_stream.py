@@ -1,0 +1,152 @@
+"""Device-stream extension: in-order kernels, triggered preadys."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import Cluster
+from repro.partitioned import IMPL_NATIVE
+from repro.threadsim import DeviceStream
+
+
+class TestStreamBasics:
+    def test_kernels_run_in_order(self):
+        def program(ctx):
+            stream = DeviceStream(ctx, launch_overhead=0.0, queue_gap=0.0)
+            done_times = []
+            for i, dur in enumerate((3e-3, 1e-3, 2e-3)):
+                handle = yield from stream.launch(ctx.main, dur,
+                                                  name=f"k{i}")
+                handle.done.callbacks.append(
+                    lambda ev: done_times.append(ev.value))
+            yield from stream.synchronize(ctx.main)
+            return done_times
+
+        (times,) = Cluster(nranks=1).run(program)
+        # In-order: completion at 3, 4, 6 ms regardless of durations.
+        assert times == pytest.approx([3e-3, 4e-3, 6e-3])
+
+    def test_launch_overhead_charged_to_host(self):
+        def program(ctx):
+            stream = DeviceStream(ctx, launch_overhead=1e-3, queue_gap=0.0)
+            t0 = ctx.sim.now
+            yield from stream.launch(ctx.main, 0.0)
+            return ctx.sim.now - t0
+
+        (elapsed,) = Cluster(nranks=1).run(program)
+        assert elapsed == pytest.approx(1e-3)
+
+    def test_synchronize_waits_for_drain(self):
+        def program(ctx):
+            stream = DeviceStream(ctx, launch_overhead=0.0, queue_gap=0.0)
+            yield from stream.launch(ctx.main, 5e-3)
+            yield from stream.synchronize(ctx.main)
+            return (ctx.sim.now, stream.pending, stream.kernels_completed)
+
+        ((t, pending, completed),) = Cluster(nranks=1).run(program)
+        assert t == pytest.approx(5e-3)
+        assert pending == 0
+        assert completed == 1
+
+    def test_synchronize_on_idle_stream_is_instant(self):
+        def program(ctx):
+            stream = DeviceStream(ctx)
+            yield from stream.synchronize(ctx.main)
+            return ctx.sim.now
+
+        (t,) = Cluster(nranks=1).run(program)
+        assert t == 0.0
+
+    def test_negative_costs_rejected(self):
+        def program(ctx):
+            DeviceStream(ctx, launch_overhead=-1.0)
+            yield ctx.sim.timeout(0)
+
+        with pytest.raises(ConfigurationError):
+            Cluster(nranks=1).run(program)
+
+    def test_negative_duration_rejected(self):
+        def program(ctx):
+            stream = DeviceStream(ctx)
+            yield from stream.launch(ctx.main, -1.0)
+
+        with pytest.raises(ConfigurationError):
+            Cluster(nranks=1).run(program)
+
+
+class TestDeviceTriggeredPartitioned:
+    def test_stream_triggered_preadys_complete_a_transfer(self):
+        """The §6.1 future-work scenario end-to-end: each kernel's
+        completion fires a native pready from the device timeline."""
+        m, n = 1 << 16, 4
+
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.psend_init(main, 1, 5, m, n,
+                                                impl=IMPL_NATIVE)
+                yield from ps.start(main)
+                stream = DeviceStream(ctx)
+
+                def trigger(i):
+                    def run():
+                        yield from ps.pready(stream.device_tc, i)
+                    return run
+
+                for i in range(n):
+                    yield from stream.launch(main, 1e-3,
+                                             on_complete=trigger(i))
+                yield from stream.synchronize(main)
+                yield from ps.wait(main)
+                return ctx.sim.now
+            pr = yield from comm.precv_init(main, 0, 5, m, n,
+                                            impl=IMPL_NATIVE)
+            yield from pr.start(main)
+            yield from pr.wait(main)
+            return pr.arrived_count
+
+        cluster = Cluster(nranks=2)
+        results = cluster.run(program)
+        assert results[1] == n
+        # Arrivals are pipelined behind the serialized kernels: the k-th
+        # partition lands shortly after k kernels (~k ms), not all at once.
+        arrivals = sorted(cluster.trace.times("part.arrived"))
+        assert len(arrivals) == n
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(g > 0.5e-3 for g in gaps)
+
+    def test_early_partitions_ship_before_stream_drains(self):
+        """Device-triggered early-bird: the first partition arrives while
+        later kernels are still executing."""
+        m, n = 1 << 16, 4
+        first_arrival = {}
+
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.psend_init(main, 1, 5, m, n,
+                                                impl=IMPL_NATIVE)
+                yield from ps.start(main)
+                stream = DeviceStream(ctx)
+
+                def trigger(i):
+                    def run():
+                        yield from ps.pready(stream.device_tc, i)
+                    return run
+
+                for i in range(n):
+                    yield from stream.launch(main, 2e-3,
+                                             on_complete=trigger(i))
+                yield from stream.synchronize(main)
+                first_arrival["drain"] = ctx.sim.now
+                yield from ps.wait(main)
+            else:
+                pr = yield from comm.precv_init(main, 0, 5, m, n,
+                                                impl=IMPL_NATIVE)
+                yield from pr.start(main)
+                ev = pr.arrived_event(0)
+                yield ev
+                first_arrival["first"] = ctx.sim.now
+                yield from pr.wait(main)
+
+        Cluster(nranks=2).run(program)
+        assert first_arrival["first"] < first_arrival["drain"]

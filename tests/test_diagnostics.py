@@ -1,0 +1,111 @@
+"""Cluster diagnostics: counters and report rendering."""
+
+import pytest
+
+from repro.mpi import Cluster, cluster_report, collect_diagnostics
+
+
+def _loaded_cluster():
+    def program(ctx):
+        if ctx.rank == 0:
+            def worker(tc):
+                yield from ctx.comm.send(tc, 1, tc.thread_id, 1 << 16)
+
+            team = yield from ctx.fork(4, worker)
+            yield from team.join()
+        else:
+            yield ctx.sim.timeout(1e-4)  # force the unexpected path
+            for tag in range(4):
+                yield from ctx.comm.recv(ctx.main, 0, tag, 1 << 16)
+
+    cluster = Cluster(nranks=2)
+    cluster.run(program)
+    return cluster
+
+
+class TestCollect:
+    def test_one_entry_per_rank(self):
+        diags = collect_diagnostics(_loaded_cluster())
+        assert [d.rank for d in diags] == [0, 1]
+
+    def test_sender_lock_contention_recorded(self):
+        sender = collect_diagnostics(_loaded_cluster())[0]
+        assert sender.lock_acquisitions >= 4
+        assert sender.lock_contention_ratio > 0
+        assert sender.lock_wait_time > 0
+        assert sender.lock_hold_time > 0
+
+    def test_nic_accounting(self):
+        sender, receiver = collect_diagnostics(_loaded_cluster())
+        # 4 rendezvous sends: 4 RTS + 4 RDATA frames from the sender.
+        assert sender.nic_messages == 8
+        assert sender.nic_bytes == 4 * (1 << 16)
+        assert sender.nic_busy_time > 0
+        # The receiver only returned 4 CTS control frames.
+        assert receiver.nic_messages == 4
+
+    def test_matching_counters(self):
+        receiver = collect_diagnostics(_loaded_cluster())[1]
+        # RTS frames landed before the receives posted (unexpected path).
+        assert receiver.unexpected_matches == 4
+        assert receiver.max_unexpected_depth >= 1
+        assert receiver.mean_scan_length > 0
+
+    def test_report_renders_all_ranks(self):
+        cluster = _loaded_cluster()
+        text = cluster_report(cluster)
+        assert "cluster diagnostics" in text
+        assert "lock acq" in text
+        lines = text.splitlines()
+        assert len(lines) == 3 + cluster.nranks  # title + header + sep
+
+    def test_idle_cluster_reports_zeros(self):
+        cluster = Cluster(nranks=2)
+
+        def program(ctx):
+            yield ctx.sim.timeout(1e-6)
+
+        cluster.run(program)
+        for d in collect_diagnostics(cluster):
+            assert d.lock_acquisitions == 0
+            assert d.nic_messages == 0
+            assert d.mean_scan_length == 0.0
+
+
+class TestGranularity:
+    def test_threads_property(self):
+        from repro.core import PtpBenchmarkConfig
+        cfg = PtpBenchmarkConfig(message_bytes=1 << 20, partitions=32,
+                                 partitions_per_thread=4)
+        assert cfg.threads == 8
+
+    def test_indivisible_rejected(self):
+        from repro.core import PtpBenchmarkConfig
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="multiple"):
+            PtpBenchmarkConfig(message_bytes=1 << 20, partitions=10,
+                               partitions_per_thread=4)
+
+    def test_multi_partition_threads_deliver_everything(self):
+        from repro.core import PtpBenchmarkConfig, run_ptp_benchmark
+        cfg = PtpBenchmarkConfig(message_bytes=1 << 18, partitions=16,
+                                 partitions_per_thread=4,
+                                 compute_seconds=1e-3, iterations=2,
+                                 warmup=1)
+        result = run_ptp_benchmark(cfg)
+        assert result.samples[0].timeline.partitions == 16
+        assert result.overhead.mean > 0
+
+    def test_finer_partitions_cost_more_overhead(self):
+        from repro.core import PtpBenchmarkConfig, run_ptp_benchmark
+
+        def overhead(partitions, ppt):
+            cfg = PtpBenchmarkConfig(message_bytes=1 << 16,
+                                     partitions=partitions,
+                                     partitions_per_thread=ppt,
+                                     compute_seconds=1e-3,
+                                     iterations=2, warmup=1)
+            return run_ptp_benchmark(cfg).overhead.mean
+
+        # Same 4 threads, 4 vs 32 partitions: finer costs more.
+        assert overhead(32, 8) > overhead(4, 1)

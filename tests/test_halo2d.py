@@ -1,0 +1,93 @@
+"""Halo2D (5-point) motif: geometry and execution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.patterns import (CommMode, EDGES_2D, Halo2DGrid, PatternConfig,
+                            opposite_edge, run_halo2d, run_motif)
+from repro.patterns.halo2d import _edge_partitions
+
+
+class TestGrid:
+    def test_coords_roundtrip(self):
+        grid = Halo2DGrid(3, 2)
+        for rank in range(grid.nranks):
+            assert grid.rank_of(*grid.coords(rank)) == rank
+
+    def test_neighbors(self):
+        grid = Halo2DGrid(3, 3)
+        center = grid.rank_of(1, 1)
+        assert grid.neighbor(center, 0) == grid.rank_of(0, 1)  # west
+        assert grid.neighbor(center, 1) == grid.rank_of(2, 1)  # east
+        assert grid.neighbor(center, 2) == grid.rank_of(1, 0)  # north
+        assert grid.neighbor(center, 3) == grid.rank_of(1, 2)  # south
+        corner = grid.rank_of(0, 0)
+        assert grid.neighbor(corner, 0) is None
+        assert grid.neighbor(corner, 2) is None
+
+    def test_opposite_edge_involution(self):
+        for e in range(4):
+            assert opposite_edge(opposite_edge(e)) == e
+            assert EDGES_2D[e][0] == EDGES_2D[opposite_edge(e)][0]
+
+    def test_directed_edges(self):
+        assert Halo2DGrid(3, 3).directed_edges() == 24
+        assert Halo2DGrid(1, 1).directed_edges() == 0
+
+    def test_invalid_grid(self):
+        with pytest.raises(ConfigurationError):
+            Halo2DGrid(0, 1)
+
+
+class TestEdgeOwnership:
+    def test_north_south_split_across_threads(self):
+        n = 4
+        for edge in (2, 3):
+            owners = [_edge_partitions(edge, t, n) for t in range(n)]
+            assert owners == [0, 1, 2, 3]
+
+    def test_west_east_owned_by_end_threads(self):
+        n = 4
+        assert _edge_partitions(0, 0, n) == 0       # west -> thread 0
+        assert _edge_partitions(0, 1, n) is None
+        assert _edge_partitions(1, n - 1, n) == 0   # east -> last thread
+        assert _edge_partitions(1, 0, n) is None
+
+
+QUICK = dict(compute_seconds=1e-3, steps=2, iterations=1, warmup=1)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("mode", list(CommMode))
+    def test_all_modes_complete(self, mode):
+        cfg = PatternConfig(mode=mode, threads=4, message_bytes=1 << 16,
+                            **QUICK)
+        result = run_halo2d(cfg, Halo2DGrid(3, 3))
+        assert result.mean_throughput > 0
+        assert result.nranks == 9
+
+    def test_bytes_accounting(self):
+        cfg = PatternConfig(mode=CommMode.SINGLE, threads=1,
+                            message_bytes=1000, **QUICK)
+        result = run_halo2d(cfg, Halo2DGrid(2, 2))
+        assert result.bytes_per_iteration == 2 * 1000 * 8
+
+    def test_registered_with_runner(self):
+        cfg = PatternConfig(mode=CommMode.PARTITIONED, threads=2,
+                            message_bytes=1 << 12, **QUICK)
+        result = run_motif("halo2d", cfg)
+        assert result.mean_throughput > 0
+
+    def test_determinism(self):
+        cfg = PatternConfig(mode=CommMode.MULTI, threads=4,
+                            message_bytes=1 << 14, **QUICK)
+        a = run_halo2d(cfg, Halo2DGrid(2, 2))
+        b = run_halo2d(cfg, Halo2DGrid(2, 2))
+        assert a.elapsed == b.elapsed
+
+    def test_partitioned_multiple_epochs(self):
+        cfg = PatternConfig(mode=CommMode.PARTITIONED, threads=4,
+                            message_bytes=1 << 14, compute_seconds=1e-3,
+                            steps=3, iterations=2, warmup=0)
+        result = run_halo2d(cfg, Halo2DGrid(2, 2))
+        assert len(result.elapsed) == 2

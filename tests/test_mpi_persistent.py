@@ -1,0 +1,100 @@
+"""Persistent point-to-point requests."""
+
+import pytest
+
+from repro.errors import RequestStateError
+from repro.mpi import Cluster
+
+
+def _run(program, nranks=2, **kwargs):
+    cluster = Cluster(nranks=nranks, **kwargs)
+    return cluster.run(program)
+
+
+class TestPersistent:
+    def test_restartable_transfer(self):
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.send_init(main, 1, 5, 4096,
+                                               payload="p")
+                for _ in range(3):
+                    yield from ps.start(main)
+                    yield ps.wait()
+                return ps.epoch
+            pr = yield from comm.recv_init(main, 0, 5, 4096)
+            payloads = []
+            for _ in range(3):
+                yield from pr.start(main)
+                yield pr.wait()
+                payloads.append(pr.status.payload)
+            return payloads
+
+        results = _run(program)
+        assert results[0] == 3
+        assert results[1] == ["p", "p", "p"]
+
+    def test_start_while_active_raises(self):
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.send_init(main, 1, 5, 1 << 20)
+                yield from ps.start(main)
+                yield from ps.start(main)  # previous send not complete
+            else:
+                yield ctx.sim.timeout(1.0)
+
+        with pytest.raises(RequestStateError, match="active"):
+            _run(program)
+
+    def test_wait_before_start_raises(self):
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            ps = yield from comm.send_init(main, (ctx.rank + 1) % 2, 5, 64)
+            ps.wait()
+
+        with pytest.raises(RequestStateError):
+            _run(program)
+
+    def test_test_polls(self):
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.send_init(main, 1, 5, 64)
+                before = ps.test()
+                yield from ps.start(main)
+                yield ps.wait()
+                return (before, ps.test())
+            pr = yield from comm.recv_init(main, 0, 5, 64)
+            yield from pr.start(main)
+            yield pr.wait()
+
+        results = _run(program)
+        assert results[0] == (False, True)
+
+    def test_status_before_completion_raises(self):
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            pr = yield from comm.recv_init(main, (ctx.rank + 1) % 2, 5, 64)
+            pr.status
+
+        with pytest.raises(RequestStateError):
+            _run(program)
+
+    def test_mixed_with_plain_pt2pt_matching_order(self):
+        """Persistent and plain sends on the same envelope interleave in
+        posting order."""
+        def program(ctx):
+            comm, main = ctx.comm, ctx.main
+            if ctx.rank == 0:
+                ps = yield from comm.send_init(main, 1, 5, 64, payload="P")
+                yield from ps.start(main)
+                yield ps.wait()
+                yield from comm.send(main, 1, 5, 64, payload="Q")
+            else:
+                a = yield from comm.recv(main, 0, 5, 64)
+                b = yield from comm.recv(main, 0, 5, 64)
+                return (a.payload, b.payload)
+
+        results = _run(program)
+        assert results[1] == ("P", "Q")

@@ -1,0 +1,132 @@
+"""Threading-mode semantics: FUNNELED/SERIALIZED checks, MULTIPLE locking."""
+
+import pytest
+
+from repro.errors import ThreadingModeError
+from repro.mpi import Cluster, ThreadingMode
+
+
+def _run(program, mode, nranks=2, **kwargs):
+    cluster = Cluster(nranks=nranks, mode=mode, **kwargs)
+    return cluster, cluster.run(program)
+
+
+class TestFunneled:
+    def test_main_thread_calls_allowed(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(ctx.main, 1, 1, 64)
+            else:
+                yield from ctx.comm.recv(ctx.main, 0, 1, 64)
+            return "ok"
+
+        _, results = _run(program, ThreadingMode.FUNNELED)
+        assert results == ["ok", "ok"]
+
+    def test_worker_thread_call_raises(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                def worker(tc):
+                    yield from ctx.comm.send(tc, 1, 1, 64)
+
+                team = yield from ctx.fork(2, worker)
+                yield from team.join()
+            else:
+                yield from ctx.comm.recv(ctx.main, 0, 1, 64)
+
+        with pytest.raises(ThreadingModeError, match="FUNNELED"):
+            _run(program, ThreadingMode.FUNNELED)
+
+
+class TestSerialized:
+    def test_sequential_thread_calls_allowed(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                def worker(tc):
+                    # Stagger so the calls never overlap.
+                    yield ctx.sim.timeout(tc.thread_id * 1e-3)
+                    yield from ctx.comm.send(tc, 1, tc.thread_id, 64)
+
+                team = yield from ctx.fork(2, worker)
+                yield from team.join()
+            else:
+                for tag in range(2):
+                    yield from ctx.comm.recv(ctx.main, 0, tag, 64)
+            return "ok"
+
+        _, results = _run(program, ThreadingMode.SERIALIZED)
+        assert results == ["ok", "ok"]
+
+    def test_concurrent_calls_raise(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                def worker(tc):
+                    yield from ctx.comm.send(tc, 1, tc.thread_id, 1 << 20)
+
+                team = yield from ctx.fork(2, worker)
+                yield from team.join()
+            else:
+                for tag in range(2):
+                    yield from ctx.comm.recv(ctx.main, 0, tag, 1 << 20)
+
+        with pytest.raises(ThreadingModeError, match="concurrent"):
+            _run(program, ThreadingMode.SERIALIZED)
+
+
+class TestMultiple:
+    def test_concurrent_calls_serialize_on_library_lock(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                def worker(tc):
+                    yield from ctx.comm.send(tc, 1, tc.thread_id, 64)
+
+                team = yield from ctx.fork(4, worker)
+                yield from team.join()
+            else:
+                for tag in range(4):
+                    yield from ctx.comm.recv(ctx.main, 0, tag, 64)
+
+        cluster, _ = _run(program, ThreadingMode.MULTIPLE)
+        stats = cluster.procs[0].lock.stats
+        assert stats.acquisitions >= 4
+        assert stats.contended_acquisitions >= 1
+        assert stats.total_wait_time > 0
+
+    def test_lock_uncontended_for_single_thread(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(ctx.main, 1, 1, 64)
+            else:
+                yield from ctx.comm.recv(ctx.main, 0, 1, 64)
+
+        cluster, _ = _run(program, ThreadingMode.MULTIPLE)
+        assert cluster.procs[0].lock.stats.contended_acquisitions == 0
+
+    def test_spillover_thread_pays_remote_lock_penalty(self):
+        """A thread bound past socket 0 holds the lock longer, so an
+        identical two-thread send pair takes longer when one spills."""
+        def make_program(nthreads):
+            done = {}
+
+            def program(ctx):
+                if ctx.rank == 0:
+                    def worker(tc):
+                        yield from ctx.comm.send(tc, 1, tc.thread_id, 64)
+
+                    team = yield from ctx.fork(nthreads, worker)
+                    yield from team.join()
+                    done["t"] = ctx.sim.now
+                else:
+                    for tag in range(nthreads):
+                        yield from ctx.comm.recv(ctx.main, 0, tag, 64)
+
+            return program, done
+
+        prog20, t20 = make_program(20)
+        _run(prog20, ThreadingMode.MULTIPLE)
+        prog24, t24 = make_program(24)
+        _run(prog24, ThreadingMode.MULTIPLE)
+        # 4 extra sends, each costing at least the remote penalty more
+        # than a proportional scaling would.
+        per_thread_20 = t20["t"] / 20
+        assert t24["t"] > per_thread_20 * 24

@@ -1,0 +1,159 @@
+"""Noise-model tests (§3.3): distributions, determinism, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise import (ExponentialNoise, GaussianNoise, NoNoise,
+                         SingleThreadNoise, TraceNoise, UniformNoise,
+                         noise_model_from_name)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestNoNoise:
+    def test_all_threads_equal(self):
+        times = NoNoise().compute_times(_rng(), 8, 0.01)
+        assert np.all(times == 0.01)
+
+    def test_zero_compute(self):
+        assert np.all(NoNoise().compute_times(_rng(), 4, 0.0) == 0.0)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoNoise().compute_times(_rng(), 0, 0.01)
+        with pytest.raises(ConfigurationError):
+            NoNoise().compute_times(_rng(), 4, -1.0)
+
+
+class TestSingleThreadNoise:
+    def test_exactly_one_victim(self):
+        times = SingleThreadNoise(4.0).compute_times(_rng(), 16, 0.01)
+        delayed = np.sum(times > 0.01)
+        assert delayed == 1
+        assert np.isclose(times.max(), 0.01 * 1.04)
+
+    def test_fixed_victim(self):
+        times = SingleThreadNoise(10.0, victim=3).compute_times(
+            _rng(), 8, 0.01)
+        assert times[3] == pytest.approx(0.011)
+        assert np.sum(times > 0.01) == 1
+
+    def test_victim_varies_with_rng(self):
+        noise = SingleThreadNoise(4.0)
+        rng = _rng(42)
+        victims = {int(np.argmax(noise.compute_times(rng, 16, 0.01)))
+                   for _ in range(50)}
+        assert len(victims) > 3  # picks different threads
+
+    def test_out_of_range_victim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SingleThreadNoise(4.0, victim=9).compute_times(_rng(), 4, 0.01)
+
+    def test_negative_percent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SingleThreadNoise(-1.0)
+
+
+class TestUniformNoise:
+    def test_bounds(self):
+        times = UniformNoise(4.0).compute_times(_rng(), 1000, 0.01)
+        assert np.all(times >= 0.01)
+        assert np.all(times <= 0.01 * 1.04)
+
+    def test_mean_near_center(self):
+        times = UniformNoise(10.0).compute_times(_rng(), 20000, 0.01)
+        assert np.mean(times) == pytest.approx(0.01 * 1.05, rel=0.01)
+
+    def test_zero_percent_is_noise_free(self):
+        times = UniformNoise(0.0).compute_times(_rng(), 8, 0.01)
+        assert np.all(times == 0.01)
+
+
+class TestGaussianNoise:
+    def test_mean_and_std(self):
+        times = GaussianNoise(4.0).compute_times(_rng(), 50000, 0.01)
+        assert np.mean(times) == pytest.approx(0.01, rel=0.01)
+        assert np.std(times) == pytest.approx(0.01 * 0.04, rel=0.05)
+
+    def test_clipped_at_zero(self):
+        # Absurd sigma to force tail draws below zero.
+        times = GaussianNoise(500.0).compute_times(_rng(), 10000, 0.01)
+        assert np.all(times >= 0.0)
+
+
+class TestExponentialNoise:
+    def test_delays_are_additive_and_nonnegative(self):
+        times = ExponentialNoise(4.0).compute_times(_rng(), 1000, 0.01)
+        assert np.all(times >= 0.01)
+
+    def test_mean_delay_matches_scale(self):
+        times = ExponentialNoise(10.0).compute_times(_rng(), 50000, 0.01)
+        assert np.mean(times - 0.01) == pytest.approx(0.001, rel=0.02)
+
+    def test_heavy_tail_exceeds_uniform_bound(self):
+        """The point of the model: some draws land far past comp*(1+p)."""
+        times = ExponentialNoise(4.0).compute_times(_rng(), 50000, 0.01)
+        assert (times > 0.01 * 1.04).sum() > 0
+
+    def test_zero_percent_is_noise_free(self):
+        times = ExponentialNoise(0.0).compute_times(_rng(), 8, 0.01)
+        assert np.all(times == 0.01)
+
+    def test_factory(self):
+        assert isinstance(noise_model_from_name("exponential", 4.0),
+                          ExponentialNoise)
+
+
+class TestTraceNoise:
+    def test_replays_delays_in_order(self):
+        noise = TraceNoise([1e-3, 2e-3, 3e-3])
+        times = noise.compute_times(_rng(), 2, 0.01)
+        assert list(times) == pytest.approx([0.011, 0.012])
+        times = noise.compute_times(_rng(), 2, 0.01)
+        assert list(times) == pytest.approx([0.013, 0.011])  # wraps
+
+    def test_reset(self):
+        noise = TraceNoise([1e-3, 2e-3])
+        noise.compute_times(_rng(), 1, 0.01)
+        noise.reset()
+        times = noise.compute_times(_rng(), 1, 0.01)
+        assert times[0] == pytest.approx(0.011)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceNoise([])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceNoise([-1.0])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", [
+        SingleThreadNoise(4.0), UniformNoise(4.0), GaussianNoise(4.0)])
+    def test_same_seed_same_draws(self, model):
+        a = model.compute_times(_rng(7), 16, 0.01)
+        b = model.compute_times(_rng(7), 16, 0.01)
+        assert np.array_equal(a, b)
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert isinstance(noise_model_from_name("none"), NoNoise)
+        assert isinstance(noise_model_from_name("single", 4.0),
+                          SingleThreadNoise)
+        assert isinstance(noise_model_from_name("uniform", 4.0),
+                          UniformNoise)
+        assert isinstance(noise_model_from_name("gaussian", 4.0),
+                          GaussianNoise)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_model_from_name("pink")
+
+    def test_describe(self):
+        assert "uniform" in UniformNoise(4.0).describe()
+        assert "4" in UniformNoise(4.0).describe()

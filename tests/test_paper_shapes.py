@@ -1,0 +1,261 @@
+"""Scientific regression tests: the paper's qualitative figure shapes.
+
+Each test asserts a *shape* claim from the evaluation section (§4) — who
+wins, which direction trends point, where knees fall.  These run on
+reduced grids so the suite stays fast, but the claims they check are
+exactly the ones EXPERIMENTS.md records.
+"""
+
+import pytest
+
+from repro.core import (COLD, HOT, PtpBenchmarkConfig, run_ptp_benchmark)
+from repro.machine import BindPolicy
+from repro.noise import (GaussianNoise, NoNoise, SingleThreadNoise,
+                         UniformNoise)
+from repro.patterns import (CommMode, Halo3DGrid, PatternConfig,
+                            Sweep3DGrid, run_halo3d, run_sweep3d)
+
+
+def _overhead(m, n, cache=HOT, **kw):
+    cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n,
+                             compute_seconds=0.002, cache=cache,
+                             iterations=3, warmup=1, **kw)
+    return run_ptp_benchmark(cfg).overhead.mean
+
+
+class TestFig4OverheadShapes:
+    def test_one_partition_is_near_unity(self):
+        """§4.2: 1 partition ranges 1.6x (small) down to ~1x (large)."""
+        small = _overhead(64, 1)
+        large = _overhead(16 << 20, 1)
+        assert 1.0 <= small < 2.0
+        assert large == pytest.approx(1.0, abs=0.1)
+        assert small > large
+
+    def test_overhead_grows_with_partitions_for_small_messages(self):
+        values = [_overhead(256, n) for n in (1, 4, 16)]
+        assert values[0] < values[1] < values[2]
+        assert values[2] > 5.0  # strongly latency-bound
+
+    def test_large_messages_split_almost_free(self):
+        """§4.2: for large messages there is little cost (~1x)."""
+        assert _overhead(16 << 20, 16) == pytest.approx(1.0, abs=0.25)
+
+    def test_socket_spillover_spike_at_32_partitions(self):
+        """§4.2: a significant jump (tens of x) when threads spill to the
+        second socket."""
+        at16 = _overhead(256, 16)
+        at32 = _overhead(256, 32)
+        assert at32 > 2.5 * at16
+        assert at32 > 25.0
+
+    def test_spillover_spike_vanishes_without_socket_penalties(self):
+        """The ablation: zero the inter-socket lock/injection penalties and
+        the 32-partition spike collapses toward a linear trend."""
+        from repro.machine import NIAGARA_NODE
+        from repro.mpi import DEFAULT_COSTS
+        baseline = _overhead(256, 32)
+        ablated = _overhead(
+            256, 32,
+            spec=NIAGARA_NODE.with_overrides(inter_socket_penalty=0.0),
+            costs=DEFAULT_COSTS.with_overrides(lock_remote_penalty=0.0))
+        assert ablated < baseline / 2
+
+    def test_cold_cache_overhead_not_above_hot(self):
+        """§4.2: the DRAM cost amortizes, pulling the ratio down."""
+        for m, n in ((4096, 8), (16384, 16)):
+            assert _overhead(m, n, cache=COLD) <= \
+                _overhead(m, n, cache=HOT) * 1.05
+
+
+def _pbw(m, n, noise, comp):
+    cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n,
+                             compute_seconds=comp, noise=noise,
+                             iterations=3, warmup=1)
+    return run_ptp_benchmark(cfg).perceived_bandwidth.mean
+
+
+class TestFig5PerceivedBandwidthShapes:
+    def test_noise_free_curve_is_monotone_bandwidth_curve(self):
+        """§4.3: 0% noise gives a traditional bandwidth curve."""
+        values = [_pbw(m, 2, NoNoise(), 0.002)
+                  for m in (4096, 1 << 17, 1 << 22)]
+        assert values[0] < values[1] < values[2]
+
+    def test_rise_peak_decline_under_noise(self):
+        """§4.3: perceived bandwidth peaks then sharply declines."""
+        noise = UniformNoise(4.0)
+        small = _pbw(1 << 14, 16, noise, 0.010)
+        peak = _pbw(1 << 20, 16, noise, 0.010)
+        large = _pbw(16 << 20, 16, noise, 0.010)
+        assert peak > small
+        assert peak > large
+
+    def test_peak_exceeds_physical_link_bandwidth(self):
+        """Early-bird transfers push perceived bandwidth past the wire."""
+        peak = _pbw(1 << 20, 16, UniformNoise(4.0), 0.010)
+        assert peak > 11.0e9  # the simulated link is ~11 GB/s
+
+    def test_more_partitions_raise_the_peak(self):
+        noise = UniformNoise(4.0)
+        assert _pbw(1 << 20, 16, noise, 0.010) > \
+            _pbw(1 << 20, 2, noise, 0.010)
+
+    def test_16_to_32_declines_at_10ms_but_not_100ms(self):
+        """§4.3: spillover hurts at 10 ms; 100 ms hides it."""
+        noise = UniformNoise(4.0)
+        m = 1 << 20
+        assert _pbw(m, 32, noise, 0.010) < _pbw(m, 16, noise, 0.010)
+        assert _pbw(m, 32, noise, 0.100) >= \
+            _pbw(m, 16, noise, 0.100) * 0.95
+
+
+def _avail(m, n, noise, comp=0.010):
+    cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n,
+                             compute_seconds=comp, noise=noise,
+                             iterations=5, warmup=1)
+    return run_ptp_benchmark(cfg).application_availability.mean
+
+
+class TestFig6And7AvailabilityShapes:
+    def test_more_partitions_help_small_messages(self):
+        """§4.4: more partitions free more CPU time for small messages."""
+        noise = SingleThreadNoise(4.0)
+        assert _avail(256, 16, noise) > _avail(256, 2, noise)
+
+    def test_16_beats_32_for_small_messages(self):
+        """§4.4: thread spillover makes 16 partitions beat 32."""
+        noise = SingleThreadNoise(4.0)
+        assert _avail(256, 16, noise) > _avail(256, 32, noise)
+
+    def test_availability_drops_for_huge_messages(self):
+        """§4.4: availability falls off past ~4 MB."""
+        noise = SingleThreadNoise(4.0)
+        assert _avail(16 << 20, 16, noise) < _avail(1 << 20, 16, noise)
+
+    def test_100ms_shifts_dropoff_right(self):
+        """§4.4: more compute delays where availability collapses."""
+        noise = SingleThreadNoise(4.0)
+        m = 16 << 20
+        assert _avail(m, 16, noise, comp=0.100) > \
+            _avail(m, 16, noise, comp=0.010)
+
+    def test_single_delay_model_gives_best_availability(self):
+        """§4.4/Fig 7: the single-delay model lets all other threads run,
+        so it upper-bounds the distribution-based models."""
+        m, n = 4 << 20, 16
+        single = _avail(m, n, SingleThreadNoise(4.0))
+        uniform = _avail(m, n, UniformNoise(4.0))
+        gaussian = _avail(m, n, GaussianNoise(4.0))
+        assert single >= uniform - 0.02
+        assert single >= gaussian - 0.02
+
+
+def _eb(m, n, comp):
+    cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n,
+                             compute_seconds=comp,
+                             noise=UniformNoise(4.0),
+                             iterations=5, warmup=1)
+    return run_ptp_benchmark(cfg).early_bird_fraction.mean
+
+
+class TestFig8EarlyBirdShapes:
+    def test_small_messages_mostly_early_bird(self):
+        """§4.5: small/medium messages transfer before the join."""
+        assert _eb(4096, 8, 0.010) > 0.9
+
+    def test_early_bird_declines_for_large_messages_at_10ms(self):
+        """§4.5: 10 ms compute is too small a window past ~2 MB."""
+        assert _eb(16 << 20, 8, 0.010) < 0.5
+        assert _eb(4096, 8, 0.010) > _eb(16 << 20, 8, 0.010)
+
+    def test_100ms_keeps_large_messages_early_bird(self):
+        assert _eb(16 << 20, 8, 0.100) > 0.8
+
+    def test_8_vs_32_minimal_difference_at_100ms(self):
+        """§4.5: at 100 ms there is minimal difference between 8 and 32."""
+        assert abs(_eb(1 << 20, 8, 0.100) - _eb(1 << 20, 32, 0.100)) < 0.1
+
+    def test_two_partitions_still_effective(self):
+        """§4.5: even two partitions use early-bird effectively."""
+        assert _eb(4096, 2, 0.010) > 0.8
+
+
+PATTERN_KW = dict(threads=16, compute_seconds=0.010, steps=4, iterations=2,
+                  warmup=1)
+
+
+def _sweep_thpt(mode, m, **overrides):
+    kw = dict(PATTERN_KW)
+    kw.update(overrides)
+    cfg = PatternConfig(mode=mode, message_bytes=m, **kw)
+    return run_sweep3d(cfg, Sweep3DGrid(3, 3)).mean_throughput
+
+
+class TestFig9And10SweepShapes:
+    def test_partitioned_dominates_at_large_messages(self):
+        """§4.6: the partitioned-vs-single gap grows large (>=5x here,
+        15.1x on the paper's hardware)."""
+        m = 16 << 20
+        part = _sweep_thpt(CommMode.PARTITIONED, m)
+        single = _sweep_thpt(CommMode.SINGLE, m)
+        assert part > 5 * single
+
+    def test_divergence_grows_with_message_size(self):
+        ratios = []
+        for m in (1 << 20, 16 << 20):
+            ratios.append(_sweep_thpt(CommMode.PARTITIONED, m)
+                          / _sweep_thpt(CommMode.SINGLE, m))
+        assert ratios[1] > ratios[0]
+
+    def test_multi_threaded_falls_below_single_at_10ms(self):
+        """§4.6: at 10 ms compute, MULTIPLE drops below single-threaded."""
+        m = 1 << 20
+        assert _sweep_thpt(CommMode.MULTI, m) < \
+            _sweep_thpt(CommMode.SINGLE, m)
+
+    def test_100ms_lowers_throughput(self):
+        """§4.6: larger compute drops communication throughput."""
+        m = 4 << 20
+        assert _sweep_thpt(CommMode.PARTITIONED, m, compute_seconds=0.100) \
+            < _sweep_thpt(CommMode.PARTITIONED, m, compute_seconds=0.010)
+
+
+class TestFig11And12HaloShapes:
+    def _halo(self, mode, threads, m, comp=0.010):
+        cfg = PatternConfig(mode=mode, threads=threads, message_bytes=m,
+                            compute_seconds=comp, steps=2, iterations=2,
+                            warmup=1)
+        return run_halo3d(cfg, Halo3DGrid(2, 2, 2))
+
+    def test_four_partitions_modes_are_close(self):
+        """§4.7: with 8 threads / 4 partitions per face, all modes are
+        hard to distinguish."""
+        m = 1 << 20
+        values = [self._halo(mode, 8, m).mean_throughput
+                  for mode in CommMode]
+        assert max(values) < 1.6 * min(values)
+
+    def test_64_threads_multi_close_to_partitioned_at_16mib(self):
+        """§4.7: at 64 threads and large messages, multi-threaded
+        point-to-point lands close to partitioned (the figure's 16 MiB
+        regime); at smaller sizes our contention model separates them
+        more than the paper's MPIPCL-on-pt2pt measurement did — a
+        documented deviation."""
+        m = 16 << 20
+        multi = self._halo(CommMode.MULTI, 64, m).mean_throughput
+        part = self._halo(CommMode.PARTITIONED, 64, m).mean_throughput
+        assert multi < part  # partitioned still ahead...
+        assert part < 2.0 * multi  # ...but close, as the paper reports
+
+    def test_oversubscription_costs_wall_throughput(self):
+        """§4.7: 64 threads on 40 cores pay an oversubscription penalty in
+        whole-iteration (wall) throughput vs the 8-thread run."""
+        m = 4 << 20
+        wall_8 = self._halo(CommMode.PARTITIONED, 8, m).wall_throughput
+        wall_64 = self._halo(CommMode.PARTITIONED, 64, m).wall_throughput
+        assert wall_64.mean < wall_8.mean
+        # The drop is tens of percent, in the 42.6%-at-10ms regime the
+        # paper reports (we accept a broad band).
+        drop = 1.0 - wall_64.mean / wall_8.mean
+        assert 0.2 < drop < 0.7

@@ -1,0 +1,177 @@
+"""Partitioned-broadcast preview: tree construction and pipelining."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import Cluster
+from repro.partitioned import PartitionedBroadcast, binomial_children
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 13, 16])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_tree_is_a_spanning_tree(self, size, root):
+        if root >= size:
+            pytest.skip("root outside world")
+        reached = {root}
+        parents = {}
+        for r in range(size):
+            parent, children = binomial_children(r, root, size)
+            for c in children:
+                assert c not in parents, "two parents for one rank"
+                parents[c] = r
+                reached.add(c)
+        assert reached == set(range(size))
+        # parent pointers agree with children lists
+        for r in range(size):
+            parent, _ = binomial_children(r, root, size)
+            if r == root:
+                assert parent is None
+            else:
+                assert parents[r] == parent
+
+    def test_root_has_no_parent(self):
+        parent, children = binomial_children(3, 3, 8)
+        assert parent is None
+        assert len(children) == 3  # log2(8) children for the root
+
+    def test_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            binomial_children(0, 9, 4)
+        with pytest.raises(ConfigurationError):
+            binomial_children(9, 0, 4)
+
+
+def _bcast_program(nbytes, partitions, epochs=1, root=0):
+    def program(ctx):
+        comm, main = ctx.comm, ctx.main
+        pb = PartitionedBroadcast(ctx, root=root, nbytes=nbytes,
+                                  partitions=partitions)
+        yield from pb.init(main)
+        finish = []
+        for _ in range(epochs):
+            yield from pb.start(main)
+            if ctx.rank == root:
+                def worker(tc):
+                    yield from tc.compute(1e-4)
+                    yield from pb.pready(tc, tc.thread_id)
+
+                team = yield from ctx.fork(partitions, worker)
+                yield from team.join()
+            yield from pb.wait(main)
+            finish.append(ctx.sim.now)
+        return finish
+
+    return program
+
+
+class TestPartitionedBroadcast:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 5, 8])
+    def test_all_ranks_complete(self, nranks):
+        results = Cluster(nranks=nranks).run(
+            _bcast_program(1 << 16, 4))
+        assert all(len(r) == 1 for r in results)
+
+    def test_multiple_epochs(self):
+        results = Cluster(nranks=4).run(
+            _bcast_program(1 << 16, 4, epochs=3))
+        for finishes in results:
+            assert finishes == sorted(finishes)
+            assert len(finishes) == 3
+
+    def test_nonzero_root(self):
+        results = Cluster(nranks=6).run(
+            _bcast_program(1 << 16, 4, root=2))
+        assert all(r for r in results)
+
+    def test_init_twice_raises(self):
+        def program(ctx):
+            pb = PartitionedBroadcast(ctx, 0, 1 << 12, 2)
+            yield from pb.init(ctx.main)
+            yield from pb.init(ctx.main)
+
+        with pytest.raises(ConfigurationError, match="twice"):
+            Cluster(nranks=1).run(program)
+
+    def test_nonroot_pready_rejected(self):
+        def program(ctx):
+            pb = PartitionedBroadcast(ctx, 0, 1 << 12, 2)
+            yield from pb.init(ctx.main)
+            yield from pb.start(ctx.main)
+            if ctx.rank == 1:
+                yield from pb.pready(ctx.main, 0)
+            else:
+                def worker(tc):
+                    yield from pb.pready(tc, tc.thread_id)
+
+                team = yield from ctx.fork(2, worker)
+                yield from team.join()
+            yield from pb.wait(ctx.main)
+
+        with pytest.raises(ConfigurationError, match="root"):
+            Cluster(nranks=2).run(program)
+
+    def test_pipelining_beats_whole_message_tree(self):
+        """The point of the preview: when the root *produces* partitions
+        incrementally (the partitioned model's premise), streaming them
+        down the tree beats producing everything and then running the
+        classic binomial bcast."""
+        nbytes, partitions, nranks = 8 << 20, 8, 8
+        produce = 5e-4  # seconds to produce one partition, sequentially
+
+        def pipelined(ctx):
+            pb = PartitionedBroadcast(ctx, 0, nbytes, partitions)
+            yield from pb.init(ctx.main)
+            yield from pb.start(ctx.main)
+            if ctx.rank == 0:
+                for i in range(partitions):
+                    yield from ctx.main.compute(produce)
+                    yield from pb.pready(ctx.main, i)
+            yield from pb.wait(ctx.main)
+            return ctx.sim.now
+
+        def classic(ctx):
+            if ctx.rank == 0:
+                for _ in range(partitions):
+                    yield from ctx.main.compute(produce)
+            payload = "x" if ctx.rank == 0 else None
+            yield from ctx.comm.bcast(ctx.main, 0, nbytes, payload)
+            return ctx.sim.now
+
+        partitioned_t = max(Cluster(nranks=nranks).run(pipelined))
+        classic_t = max(Cluster(nranks=nranks).run(classic))
+        assert partitioned_t < classic_t
+
+    def test_leaf_arrival_events_usable(self):
+        def program(ctx):
+            pb = PartitionedBroadcast(ctx, 0, 1 << 14, 4)
+            yield from pb.init(ctx.main)
+            yield from pb.start(ctx.main)
+            if ctx.rank == 0:
+                def worker(tc):
+                    yield from pb.pready(tc, tc.thread_id)
+
+                team = yield from ctx.fork(4, worker)
+                yield from team.join()
+                yield from pb.wait(ctx.main)
+                return None
+            ev = pb.arrived_event(0)
+            if not ev.triggered:
+                yield ev
+            first = ctx.sim.now
+            yield from pb.wait(ctx.main)
+            return ctx.sim.now >= first
+
+        results = Cluster(nranks=4).run(program)
+        assert all(r is True for r in results[1:])
+
+    def test_root_has_no_arrival_events(self):
+        def program(ctx):
+            pb = PartitionedBroadcast(ctx, 0, 1 << 12, 2)
+            yield from pb.init(ctx.main)
+            if ctx.rank == 0:
+                pb.arrived_event(0)
+            yield ctx.sim.timeout(0)
+
+        with pytest.raises(ConfigurationError, match="root"):
+            Cluster(nranks=1).run(program)

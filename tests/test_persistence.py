@@ -1,0 +1,83 @@
+"""JSON persistence of sweep results."""
+
+import json
+
+import pytest
+
+from repro.core import (PtpBenchmarkConfig, load_sweep, result_from_dict,
+                        result_to_dict, run_ptp_benchmark, save_sweep,
+                        sweep_from_dict, sweep_to_dict, sweep_ptp)
+from repro.core.persistence import FORMAT_VERSION
+from repro.errors import ConfigurationError
+from repro.noise import UniformNoise
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    base = PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                              compute_seconds=1e-4,
+                              noise=UniformNoise(4.0), iterations=2)
+    return sweep_ptp(base, [1024, 65536], [1, 4])
+
+
+class TestResultRoundTrip:
+    def test_metrics_survive_exactly(self, quick_config):
+        result = run_ptp_benchmark(quick_config)
+        loaded = result_from_dict(result_to_dict(result))
+        assert loaded.overhead.mean == result.overhead.mean
+        assert loaded.perceived_bandwidth.mean == \
+            result.perceived_bandwidth.mean
+        assert loaded.early_bird_fraction.mean == \
+            result.early_bird_fraction.mean
+        assert len(loaded.samples) == len(result.samples)
+
+    def test_config_snapshot_fields(self, quick_config):
+        data = result_to_dict(run_ptp_benchmark(quick_config))
+        snap = data["config"]
+        assert snap["message_bytes"] == quick_config.message_bytes
+        assert snap["partitions"] == quick_config.partitions
+        assert snap["cache"] == quick_config.cache
+        assert "label" in snap
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            result_from_dict({"config": {}})
+
+
+class TestSweepRoundTrip:
+    def test_json_serializable(self, sweep):
+        text = json.dumps(sweep_to_dict(sweep))
+        assert json.loads(text)["format_version"] == FORMAT_VERSION
+
+    def test_values_survive(self, sweep):
+        loaded = sweep_from_dict(sweep_to_dict(sweep))
+        for m in (1024, 65536):
+            for n in (1, 4):
+                assert loaded.value("overhead", m, n) == \
+                    sweep.value("overhead", m, n)
+                assert loaded.value("application_availability", m, n) == \
+                    sweep.value("application_availability", m, n)
+
+    def test_unknown_version_rejected(self, sweep):
+        data = sweep_to_dict(sweep)
+        data["format_version"] = 999
+        with pytest.raises(ConfigurationError, match="format"):
+            sweep_from_dict(data)
+
+    def test_missing_point_rejected(self, sweep):
+        loaded = sweep_from_dict(sweep_to_dict(sweep))
+        with pytest.raises(ConfigurationError, match="no stored point"):
+            loaded.value("overhead", 999, 1)
+
+
+class TestFileIO:
+    def test_save_and_load(self, sweep, tmp_path):
+        path = save_sweep(sweep, tmp_path / "results" / "sweep.json")
+        assert path.exists()
+        loaded = load_sweep(path)
+        assert loaded.value("overhead", 1024, 1) == \
+            sweep.value("overhead", 1024, 1)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no result file"):
+            load_sweep(tmp_path / "nope.json")

@@ -1,0 +1,67 @@
+"""ASCII plot rendering."""
+
+import pytest
+
+from repro.core import ascii_plot
+from repro.errors import ConfigurationError
+
+
+SERIES = {
+    "a": [(64, 1.0), (1024, 5.0), (65536, 20.0)],
+    "b": [(64, 2.0), (1024, 8.0), (65536, 3.0)],
+}
+
+
+class TestAsciiPlot:
+    def test_contains_glyphs_and_legend(self):
+        text = ascii_plot(SERIES, title="demo")
+        assert text.startswith("demo")
+        assert "*" in text and "o" in text
+        assert "legend: *=a  o=b" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot(SERIES, ylabel="GB/s")
+        assert "GB/s" in text
+        assert "64B" in text and "64KiB" in text  # log-x byte labels
+        assert "20" in text  # y max
+        assert "1" in text   # y min
+
+    def test_dimensions(self):
+        text = ascii_plot(SERIES, width=40, height=10)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+        assert all(len(l.split("|", 1)[1]) == 40 for l in plot_rows)
+
+    def test_extremes_hit_the_border_rows(self):
+        text = ascii_plot({"a": [(1, 0.0), (10, 10.0)]}, logx=False,
+                          height=8)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        assert "*" in rows[0]      # max value on top row
+        assert "*" in rows[-1]     # min value on bottom row
+
+    def test_log_y(self):
+        text = ascii_plot({"a": [(1, 1.0), (2, 1000.0)]}, logx=False,
+                          logy=True)
+        assert "1e+03" in text or "1000" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot({"a": [(1, 5.0), (100, 5.0)]})
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({})
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": []})
+        with pytest.raises(ConfigurationError):
+            ascii_plot(SERIES, width=4)
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": [(0, 1.0)]}, logx=True)  # log of zero
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"a": [(1, -1.0)]}, logy=True)
+
+    def test_many_series_cycle_glyphs(self):
+        series = {f"s{i}": [(1, float(i)), (2, float(i + 1))]
+                  for i in range(10)}
+        text = ascii_plot(series, logx=False)
+        assert "legend" in text

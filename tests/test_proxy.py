@@ -1,0 +1,157 @@
+"""SNAP proxy, mpiP profiler, and the Figure-13 projection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import Cluster
+from repro.proxy import (MPIPProfiler, MPIPReport, PAPER_COMM_SPEEDUP,
+                         SnapConfig, process_grid, project_speedup,
+                         run_snap, snap_projection)
+
+
+class TestProcessGrid:
+    @pytest.mark.parametrize("n,expected", [
+        (1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (6, (2, 3)),
+        (16, (4, 4)), (128, (8, 16)), (256, (16, 16)),
+    ])
+    def test_near_square_factorization(self, n, expected):
+        assert process_grid(n) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            process_grid(0)
+
+
+class TestProfiler:
+    def test_attributes_mpi_time(self):
+        def program(ctx):
+            prof = MPIPProfiler(ctx)
+            prof.start_app()
+            if ctx.rank == 0:
+                yield from prof.timed(
+                    ctx.comm.send(ctx.main, 1, 1, 1 << 20), "MPI_Send")
+                yield from ctx.main.compute(1e-3)
+            else:
+                yield from prof.timed(
+                    ctx.comm.recv(ctx.main, 0, 1, 1 << 20), "MPI_Recv")
+                yield from ctx.main.compute(1e-3)
+            prof.stop_app()
+            return prof
+
+        cluster = Cluster(nranks=2)
+        profilers = cluster.run(program)
+        for prof in profilers:
+            assert 0 < prof.mpi_time < prof.app_time
+            assert 0 < prof.mpi_fraction < 1
+
+    def test_callsite_accounting(self):
+        def program(ctx):
+            prof = MPIPProfiler(ctx)
+            prof.start_app()
+            for i in range(3):
+                if ctx.rank == 0:
+                    yield from prof.timed(
+                        ctx.comm.send(ctx.main, 1, i, 64), "MPI_Send")
+                else:
+                    yield from prof.timed(
+                        ctx.comm.recv(ctx.main, 0, i, 64), "MPI_Recv")
+            prof.stop_app()
+            return prof
+
+        profilers = Cluster(nranks=2).run(program)
+        assert profilers[0].sites["MPI_Send"].calls == 3
+        assert profilers[0].sites["MPI_Send"].mean_time > 0
+
+    def test_report_aggregation_and_format(self):
+        def program(ctx):
+            prof = MPIPProfiler(ctx)
+            prof.start_app()
+            if ctx.rank == 0:
+                yield from prof.timed(
+                    ctx.comm.send(ctx.main, 1, 1, 64), "MPI_Send")
+            else:
+                yield from prof.timed(
+                    ctx.comm.recv(ctx.main, 0, 1, 64), "MPI_Recv")
+            prof.stop_app()
+            return prof
+
+        profilers = Cluster(nranks=2).run(program)
+        report = MPIPReport.from_profilers(profilers)
+        assert report.nranks == 2
+        assert 0 < report.mpi_fraction <= 1
+        text = report.format()
+        assert "mpi%" in text and "MPI_Send" in text
+        assert report.top_sites(1)[0][1].total_time >= \
+            report.top_sites(2)[1][1].total_time
+
+    def test_empty_aggregation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MPIPReport.from_profilers([])
+
+
+class TestSnapProxy:
+    def test_single_node_has_no_mpi_pressure(self):
+        result = run_snap(SnapConfig(nodes=1, total_compute=0.1, blocks=4,
+                                     octants=1))
+        # 1x1 grid: no sweep neighbours; only the allreduce.
+        assert result.mpi_fraction < 0.05
+
+    def test_mpi_fraction_grows_with_nodes(self):
+        cfg = SnapConfig(nodes=1, total_compute=0.5, blocks=8, octants=1)
+        fractions = [
+            run_snap(cfg.with_overrides(nodes=n)).mpi_fraction
+            for n in (2, 8, 32)
+        ]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_compute_per_block_strong_scales(self):
+        cfg = SnapConfig(nodes=4)
+        assert cfg.compute_per_block() == pytest.approx(
+            cfg.total_compute / (4 * cfg.blocks * cfg.octants))
+        assert cfg.with_overrides(nodes=8).compute_per_block() == \
+            pytest.approx(cfg.compute_per_block() / 2)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SnapConfig(nodes=0)
+        with pytest.raises(ConfigurationError):
+            SnapConfig(nodes=1, total_compute=0)
+        with pytest.raises(ConfigurationError):
+            SnapConfig(nodes=1, blocks=0)
+
+
+class TestProjection:
+    def test_amdahl_formula(self):
+        assert project_speedup(0.0) == 1.0
+        assert project_speedup(1.0, 10.0) == pytest.approx(10.0)
+        # Paper's 256-node point: 54.5% MPI at 15.1x -> ~2.04x
+        assert project_speedup(0.545, 15.1) == pytest.approx(2.04, abs=0.01)
+
+    def test_formula_validates(self):
+        with pytest.raises(ConfigurationError):
+            project_speedup(1.5)
+        with pytest.raises(ConfigurationError):
+            project_speedup(0.5, 0.0)
+
+    def test_projection_series_monotone(self):
+        proj = snap_projection(
+            node_counts=(2, 8, 32),
+            base_config=SnapConfig(nodes=2, total_compute=0.5, blocks=8,
+                                   octants=1))
+        assert [r.nodes for r in proj.rows] == [2, 8, 32]
+        speedups = [r.projected_speedup for r in proj.rows]
+        assert speedups == sorted(speedups)
+        assert all(s >= 1.0 for s in speedups)
+        assert proj.comm_speedup == PAPER_COMM_SPEEDUP
+
+    def test_format(self):
+        proj = snap_projection(
+            node_counts=(2,),
+            base_config=SnapConfig(nodes=2, total_compute=0.2, blocks=4,
+                                   octants=1))
+        text = proj.format()
+        assert "nodes" in text and "speedup" in text and "15.1" in text
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            snap_projection(node_counts=())
