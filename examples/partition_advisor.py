@@ -10,7 +10,7 @@ Run:  python examples/partition_advisor.py
 """
 
 from repro import recommend_partitions
-from repro.core import PtpBenchmarkConfig, format_bytes
+from repro.core import PtpBenchmarkConfig
 from repro.noise import SingleThreadNoise, UniformNoise
 
 #: Three application profiles to advise on: (name, bytes, compute, noise).

@@ -1,0 +1,315 @@
+"""The dynamic half of :mod:`repro.analysis`: a validating runtime layer.
+
+:func:`enable_checking` attaches a :class:`Checker` to a
+:class:`~repro.mpi.cluster.Cluster`.  From then on every partitioned
+request notifies the checker of its lifecycle events (via the hook in
+:mod:`repro.partitioned.requests`), every simulated resource reports its
+holders and waiters (via ``Simulator.monitor``), and the checker shadows
+the MPI 4.0 partitioned state machine, tracks per-partition
+happens-before, and — at :meth:`Checker.finalize` — sweeps for leaked
+requests, unmatched ``psend_init``/``precv_init`` halves, and wait-for
+cycles over resources.
+
+Verdicts are :class:`~repro.analysis.findings.Finding` objects, the same
+currency the static linter uses; they also surface in the per-rank
+:func:`repro.mpi.diagnostics.cluster_report`.
+
+The checker *observes*: it never raises into the simulated program and
+never schedules events, so enabling it cannot change a schedule.  The
+runtime's own exceptions (e.g. ``RequestStateError`` on a double
+``pready``) still fire — the checker records the finding just before.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..errors import ConfigurationError, ReproError
+from .deadlock import ResourceMonitor
+from .findings import Finding, format_findings
+from .races import PartitionTracker
+
+__all__ = ["Checker", "CheckReport", "enable_checking", "run_checked",
+           "check_file", "load_program"]
+
+
+class Checker:
+    """Dynamic-correctness observer for one cluster run.
+
+    Create it through :func:`enable_checking`; the hooks below are invoked
+    by the runtime.  Findings accumulate in :attr:`findings` in event
+    order.  Individual rules can be switched off with ``disabled`` —
+    used by the fixture tests to prove each rule is load-bearing.
+    """
+
+    def __init__(self, cluster, disabled: Iterable[str] = ()):
+        self.cluster = cluster
+        self.disabled = frozenset(disabled)
+        self.findings: List[Finding] = []
+        self.tracker = PartitionTracker()
+        self.monitor = ResourceMonitor()
+        self._finalized = False
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True while no finding has been recorded."""
+        return not self.findings
+
+    def findings_for_rank(self, rank: int) -> List[Finding]:
+        """Findings attributed to one rank (finalize-wide ones excluded)."""
+        return [f for f in self.findings if f.rank == rank]
+
+    def _report(self, rule: str, message: str,
+                rank: Optional[int] = None) -> None:
+        if rule in self.disabled:
+            return
+        self.findings.append(Finding(
+            rule=rule, message=message, rank=rank,
+            time=self.cluster.sim.now))
+
+    def _report_all(self, violations, rank: Optional[int]) -> None:
+        for rule, message in violations:
+            self._report(rule, f"rank {rank}: {message}" if rank is not None
+                         else message, rank=rank)
+
+    # -- hooks from the partitioned runtime ------------------------------
+    def on_init(self, req, is_send: bool) -> None:
+        """``psend_init``/``precv_init`` registered a new request."""
+        self.tracker.ensure(req, "send" if is_send else "recv",
+                            req.partitions)
+
+    def on_start(self, req) -> None:
+        """A request armed a new epoch."""
+        state = self._state(req)
+        self._report_all(self.tracker.on_start(state), req.proc.rank)
+
+    def on_wait(self, req) -> None:
+        """A request entered ``wait()``."""
+        state = self._state(req)
+        self._report_all(self.tracker.on_wait(state), req.proc.rank)
+
+    def on_pready(self, req, partition: int) -> None:
+        """Send side marked one partition ready."""
+        state = self._state(req)
+        self._report_all(
+            self.tracker.on_pready(state, partition, self.cluster.sim.now),
+            req.proc.rank)
+
+    def on_parrived(self, req, partition: int) -> None:
+        """Receive side polled one partition."""
+        state = self._state(req)
+        self._report_all(self.tracker.on_parrived(state, partition),
+                         req.proc.rank)
+
+    def on_partition_arrived(self, req, partition: int, now: float) -> None:
+        """The runtime delivered one partition into the receive buffer."""
+        state = self._state(req)
+        self._report_all(self.tracker.on_arrived(state, partition, now),
+                         req.proc.rank)
+
+    def on_buffer_write(self, req, partition: int) -> None:
+        """Application annotated a send-buffer write."""
+        state = self._state(req)
+        self._report_all(
+            self.tracker.on_write(state, partition, self.cluster.sim.now),
+            req.proc.rank)
+
+    def on_buffer_read(self, req, partition: int) -> None:
+        """Application annotated a receive-buffer read."""
+        state = self._state(req)
+        self._report_all(
+            self.tracker.on_read(state, partition, self.cluster.sim.now),
+            req.proc.rank)
+
+    def _state(self, req):
+        side = "send" if hasattr(req, "_ready") else "recv"
+        return self.tracker.ensure(req, side, req.partitions)
+
+    # -- finalize --------------------------------------------------------
+    def finalize(self, aborted: bool = False) -> List[Finding]:
+        """End-of-run sweep: leaks, unmatched inits, resource deadlocks.
+
+        Idempotent — callable once per run; returns the full findings
+        list for convenience.  With ``aborted=True`` (the program died of
+        a runtime error mid-flight) the leak and unmatched-init sweeps are
+        skipped — an aborted program never had the chance to wait or
+        match, so those findings would be noise on top of the real one —
+        while the deadlock cycle check still runs.
+        """
+        if self._finalized:
+            return self.findings
+        self._finalized = True
+        if aborted:
+            cycle = self.monitor.find_deadlock()
+            if cycle is not None:
+                self._report("RES001",
+                             f"deadlock cycle over simulated resources: "
+                             f"{cycle}")
+            return self.findings
+        for req, state in self.tracker.leaks():
+            self._report(
+                "FIN001",
+                f"rank {req.proc.rank}: {state.describe()} (peer rank "
+                f"{req.peer_rank}, tag {req.tag}) started epoch "
+                f"{state.epoch} but never completed a wait() — leaked "
+                f"request", rank=req.proc.rank)
+        for key, entry in self.cluster._part_pending.items():
+            src, dst, tag, comm = key
+            for side, verb, peer_verb in (("send", "psend_init",
+                                           "precv_init"),
+                                          ("recv", "precv_init",
+                                           "psend_init")):
+                for req in entry[side]:
+                    self._report(
+                        "FIN002",
+                        f"rank {req.proc.rank}: {verb} "
+                        f"({src}->{dst}, tag {tag}, comm {comm}) was never "
+                        f"matched by a peer {peer_verb}",
+                        rank=req.proc.rank)
+        cycle = self.monitor.find_deadlock()
+        if cycle is not None:
+            self._report("RES001",
+                         f"deadlock cycle over simulated resources: "
+                         f"{cycle}")
+        return self.findings
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one checked run (see :func:`run_checked`).
+
+    ``ok`` means the program completed without findings *and* without a
+    runtime error; ``results`` carries the per-rank return values when the
+    program finished.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    error: Optional[str] = None
+    results: Optional[List[Any]] = None
+    nranks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the run is clean: no findings, no runtime error."""
+        return not self.findings and self.error is None
+
+    def format(self) -> str:
+        """Render a human-readable verdict block."""
+        lines: List[str] = []
+        if self.findings:
+            lines.append(format_findings(self.findings))
+        if self.error:
+            lines.append(f"runtime error: {self.error}")
+        per_rank = {r: 0 for r in range(self.nranks)}
+        for finding in self.findings:
+            if finding.rank is not None and finding.rank in per_rank:
+                per_rank[finding.rank] += 1
+        for rank in range(self.nranks):
+            n = per_rank[rank]
+            verdict = "ok" if n == 0 else f"{n} finding(s)"
+            lines.append(f"rank {rank}: {verdict}")
+        lines.append("verdict: " + ("CLEAN" if self.ok else "VIOLATIONS"))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable form used by ``--format=json``."""
+        return json.dumps({
+            "ok": self.ok,
+            "error": self.error,
+            "count": len(self.findings),
+            "findings": [f.to_dict() for f in self.findings],
+        }, indent=2)
+
+
+def enable_checking(cluster, disabled: Iterable[str] = ()) -> Checker:
+    """Attach a dynamic :class:`Checker` to ``cluster``; returns it.
+
+    Installs the checker on the cluster, on every rank's
+    :class:`~repro.mpi.process.MPIProcess`, and as the simulator's
+    resource monitor.  Call before :meth:`~repro.mpi.cluster.Cluster.run`;
+    call :meth:`Checker.finalize` after the run (or use
+    :func:`run_checked`, which does both).
+    """
+    checker = Checker(cluster, disabled=disabled)
+    cluster.checker = checker
+    for proc in cluster.procs:
+        proc.checker = checker
+    cluster.sim.monitor = checker.monitor
+    return checker
+
+
+def run_checked(program: Callable, nranks: int = 2,
+                disabled: Iterable[str] = (),
+                **cluster_kwargs) -> CheckReport:
+    """Run ``program(ctx)`` on a fresh checked cluster; returns the report.
+
+    Library errors raised by the simulated program (state-machine
+    violations, deadlocks, …) are captured into ``report.error`` rather
+    than propagated — the checker has usually recorded the corresponding
+    finding already, and a validation tool should outlive the program it
+    judges.
+    """
+    from ..errors import DeadlockError
+    from ..mpi import Cluster  # local import: analysis must stay leaf-like
+
+    cluster = Cluster(nranks=nranks, **cluster_kwargs)
+    checker = enable_checking(cluster, disabled=disabled)
+    error: Optional[str] = None
+    aborted = False
+    results: Optional[List[Any]] = None
+    try:
+        results = cluster.run(program)
+    except DeadlockError as exc:
+        # A hang is exactly what the wait-for-graph post-mortem is for.
+        error = f"{type(exc).__name__}: {exc}"
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        aborted = True
+    checker.finalize(aborted=aborted)
+    return CheckReport(findings=list(checker.findings), error=error,
+                       results=results, nranks=nranks)
+
+
+def load_program(path) -> Dict[str, Any]:
+    """Load a checkable program module from ``path``.
+
+    The file must define ``program(ctx)``; it may define ``NRANKS``
+    (default 2) and ``CLUSTER_KWARGS`` (default empty) to shape the
+    cluster.  Returns ``{"program": ..., "nranks": ..., "kwargs": ...}``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such program file: {path}")
+    spec = importlib.util.spec_from_file_location(
+        f"repro_checked_{path.stem}", path)
+    if spec is None or spec.loader is None:
+        raise ConfigurationError(f"cannot import program file: {path}")
+    module = importlib.util.module_from_spec(spec)
+    # Register so dataclasses/pickling inside the program can resolve it.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    program = getattr(module, "program", None)
+    if not callable(program):
+        raise ConfigurationError(
+            f"{path} does not define a program(ctx) callable")
+    return {
+        "program": program,
+        "nranks": int(getattr(module, "NRANKS", 2)),
+        "kwargs": dict(getattr(module, "CLUSTER_KWARGS", {})),
+    }
+
+
+def check_file(path, disabled: Iterable[str] = ()) -> CheckReport:
+    """Load ``path`` (see :func:`load_program`) and run it checked."""
+    loaded = load_program(path)
+    return run_checked(loaded["program"], nranks=loaded["nranks"],
+                       disabled=disabled, **loaded["kwargs"])

@@ -1,0 +1,63 @@
+"""The common currency of the analyzer: :class:`Finding`.
+
+Both halves of :mod:`repro.analysis` report problems the same way — the
+static linter attaches a file and line, the dynamic checker attaches a
+rank and a simulated time — so the CLI, the diagnostics report and the
+tests can treat every verdict uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Finding", "format_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, from either the static or the dynamic pass.
+
+    Attributes
+    ----------
+    rule:
+        The rule identifier (``SIM1xx`` static, ``PART/RES/FINxxx``
+        dynamic); see ``docs/analysis.md`` for the reference table.
+    message:
+        Human-readable description of what went wrong and where.
+    file / line:
+        Source location (static findings; ``line`` is 0 when unknown).
+    rank:
+        The simulated rank that violated the rule (dynamic findings).
+    time:
+        Simulated time of the violation in seconds (dynamic findings).
+    severity:
+        ``"error"`` for definite misuse, ``"warning"`` for hazards.
+    """
+
+    rule: str
+    message: str
+    file: str = ""
+    line: int = 0
+    rank: Optional[int] = None
+    time: Optional[float] = None
+    severity: str = "error"
+
+    def format(self) -> str:
+        """Render as a one-line ``location: RULE message`` diagnostic."""
+        if self.file:
+            where = f"{self.file}:{self.line}"
+        elif self.rank is not None:
+            where = f"rank {self.rank} @ t={self.time or 0.0:.6f}s"
+        else:
+            where = "finalize"
+        return f"{where}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form used by ``--format=json`` CLI output."""
+        return asdict(self)
+
+
+def format_findings(findings: List[Finding]) -> str:
+    """Render a findings list, one diagnostic per line (empty string if none)."""
+    return "\n".join(f.format() for f in findings)

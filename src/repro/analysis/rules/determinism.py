@@ -1,0 +1,235 @@
+"""Static rules for determinism hazards (``SIM101``–``SIM104``).
+
+The whole suite runs in *virtual* time from seeded RNG streams; two runs
+with the same master seed must be bit-identical (see
+:mod:`repro.sim.core`).  These rules catch the ways real-world entropy
+leaks into a simulation: wall-clock reads, the process-global ``random``
+state, hash-order-dependent iteration, and mutable default arguments that
+smuggle state between calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set, Tuple
+
+from ..findings import Finding
+from . import Rule, register
+
+__all__ = ["import_aliases", "WallClockRule", "GlobalRandomRule",
+           "SetIterationRule", "MutableDefaultRule"]
+
+#: Functions whose results depend on real time (module, attribute).
+_WALL_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns", "sleep"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+#: ``numpy.random`` module-level functions that mutate global RNG state.
+_NP_GLOBAL_RANDOM = {
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "shuffle", "permutation", "choice", "normal", "uniform",
+    "exponential",
+}
+
+
+def import_aliases(tree: ast.AST) -> Tuple[Dict[str, str], Dict[str, Tuple[str, str]]]:
+    """Map local names to the modules / module members they alias.
+
+    Returns ``(modules, members)``: ``modules`` maps an alias to the
+    imported module path (``{"np": "numpy"}``), ``members`` maps an alias
+    to its ``(module, original_name)`` pair
+    (``{"now": ("datetime.datetime", "now")}``).
+    """
+    modules: Dict[str, str] = {}
+    members: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                members[alias.asname or alias.name] = (node.module, alias.name)
+    return modules, members
+
+
+def _call_target(node: ast.Call) -> Tuple[str, str]:
+    """The ``(receiver, attribute)`` of a call, or ``("", name)`` for bare
+    name calls; receivers are dotted source text (``"np.random"``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        try:
+            return ast.unparse(func.value), func.attr
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            return "", ""
+    if isinstance(func, ast.Name):
+        return "", func.id
+    return "", ""
+
+
+@register
+class WallClockRule(Rule):
+    """SIM101: reading the wall clock (or sleeping on it) inside sim code."""
+
+    id = "SIM101"
+    name = "wall-clock"
+    summary = ("wall-clock time source (time.time/perf_counter/sleep, "
+               "datetime.now) used instead of sim.now / sim.timeout")
+
+    def check(self, tree: ast.AST, filename: str) -> Iterable[Finding]:
+        """Flag calls into ``time``/``datetime`` wall-clock entry points."""
+        modules, members = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            recv, attr = _call_target(node)
+            if recv:
+                head = recv.split(".", 1)[0]
+                target = modules.get(head, recv if "." in recv else "")
+                base = target.split(".", 1)[0] if target else ""
+                if base in _WALL_CLOCK_ATTRS and \
+                        attr in _WALL_CLOCK_ATTRS[base]:
+                    yield self.finding(
+                        filename, node,
+                        f"call to {recv}.{attr}() reads the wall clock; "
+                        f"use the simulator's virtual time "
+                        f"(sim.now / sim.timeout)")
+                # datetime.datetime.now() via the class attribute
+                elif recv.endswith("datetime") and \
+                        attr in _WALL_CLOCK_ATTRS["datetime"]:
+                    yield self.finding(
+                        filename, node,
+                        f"call to {recv}.{attr}() reads the wall clock; "
+                        f"use the simulator's virtual time")
+            elif attr in members:
+                module, orig = members[attr]
+                base = module.split(".", 1)[0]
+                if base in _WALL_CLOCK_ATTRS and \
+                        orig in _WALL_CLOCK_ATTRS[base]:
+                    yield self.finding(
+                        filename, node,
+                        f"call to {orig}() (from {module}) reads the wall "
+                        f"clock; use the simulator's virtual time")
+
+
+@register
+class GlobalRandomRule(Rule):
+    """SIM102: process-global RNG state instead of ``repro.sim.rng`` streams."""
+
+    id = "SIM102"
+    name = "global-random"
+    summary = ("stdlib random module or numpy.random global functions "
+               "used instead of repro.sim.rng.RandomStreams")
+
+    def check(self, tree: ast.AST, filename: str) -> Iterable[Finding]:
+        """Flag ``random`` imports and ``numpy.random`` global-state calls."""
+        modules, _members = import_aliases(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "random":
+                        yield self.finding(
+                            filename, node,
+                            "stdlib random uses hidden process-global "
+                            "state; draw from a named "
+                            "repro.sim.rng.RandomStreams stream instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "random":
+                    yield self.finding(
+                        filename, node,
+                        "stdlib random uses hidden process-global state; "
+                        "draw from a named repro.sim.rng.RandomStreams "
+                        "stream instead")
+            elif isinstance(node, ast.Call):
+                recv, attr = _call_target(node)
+                if not recv or attr not in _NP_GLOBAL_RANDOM:
+                    continue
+                parts = recv.split(".")
+                base = modules.get(parts[0], parts[0])
+                if base == "numpy" and parts[1:] == ["random"]:
+                    yield self.finding(
+                        filename, node,
+                        f"numpy.random.{attr}() mutates numpy's global RNG; "
+                        f"use a seeded Generator from "
+                        f"repro.sim.rng.RandomStreams")
+
+
+@register
+class SetIterationRule(Rule):
+    """SIM103: iterating a set, whose order depends on hash randomization."""
+
+    id = "SIM103"
+    name = "set-iteration"
+    summary = ("iteration over a set/frozenset — ordering depends on hash "
+               "seeds, so anything it feeds (event scheduling!) becomes "
+               "nondeterministic; iterate a sorted() or a list instead")
+
+    def check(self, tree: ast.AST, filename: str) -> Iterable[Finding]:
+        """Flag ``for``-loops and comprehensions whose iterable is a set."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.For):
+                candidates = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                candidates = [gen.iter for gen in node.generators]
+            else:
+                continue
+            for it in candidates:
+                if self._is_set_expr(it):
+                    yield self.finding(
+                        filename, it,
+                        "iterating a set: element order depends on hash "
+                        "randomization and will differ between runs; "
+                        "iterate sorted(...) or keep a list")
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        """True for set displays, ``set(...)``/``frozenset(...)`` calls and
+        set-operator expressions over them."""
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return (SetIterationRule._is_set_expr(node.left)
+                    or SetIterationRule._is_set_expr(node.right))
+        return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """SIM104: mutable default arguments (shared state across sim runs)."""
+
+    id = "SIM104"
+    name = "mutable-default"
+    summary = ("mutable default argument — the object is shared across "
+               "calls, so one simulation's state leaks into the next")
+
+    _MUTABLE_CALLS: Set[str] = {"list", "dict", "set"}
+
+    def check(self, tree: ast.AST, filename: str) -> Iterable[Finding]:
+        """Flag ``def f(x=[])``-style defaults on any function."""
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        filename, default,
+                        f"mutable default argument in {node.name}(): the "
+                        f"value is created once and shared by every call; "
+                        f"default to None and construct inside the body")
+
+    @classmethod
+    def _is_mutable(cls, node: ast.AST) -> bool:
+        """True for list/dict/set displays and bare constructor calls."""
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in cls._MUTABLE_CALLS
+                and not node.args and not node.keywords)

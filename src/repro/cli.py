@@ -8,15 +8,19 @@ Usage::
         --compute-ms 10 --noise uniform --noise-percent 4
     python -m repro advisor --message-bytes 1048576 --compute-ms 10 \\
         --noise single --noise-percent 4
+    python -m repro lint src/repro benchmarks examples
+    python -m repro check path/to/program.py
 
 Tables match the ``benchmarks/`` harness output; the CLI exists so the
 suite is usable without pytest, the way the paper's artifact is driven
-from a shell.
+from a shell.  ``lint`` and ``check`` expose the
+:mod:`repro.analysis` correctness analyzer (exit code 1 on findings).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -214,6 +218,48 @@ def _cmd_advisor(args) -> str:
     return "\n".join(lines)
 
 
+def _findings_json(findings) -> str:
+    return json.dumps({
+        "ok": not findings,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }, indent=2)
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import format_findings, lint_paths
+    from .errors import ConfigurationError
+    try:
+        findings = lint_paths(args.paths, disabled=args.disable)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_findings_json(findings))
+    elif findings:
+        print(format_findings(findings))
+        print(f"{len(findings)} finding(s)")
+    else:
+        print("clean: no findings")
+    return 1 if findings else 0
+
+
+def _cmd_check(args) -> int:
+    from .analysis import run_checked
+    from .analysis.checker import load_program
+    from .errors import ConfigurationError
+    try:
+        loaded = load_program(args.program)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    nranks = args.nranks if args.nranks is not None else loaded["nranks"]
+    report = run_checked(loaded["program"], nranks=nranks,
+                         disabled=args.disable, **loaded["kwargs"])
+    print(report.to_json() if args.format == "json" else report.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -255,6 +301,28 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["availability", "overhead", "balanced"])
     a.add_argument("--iterations", type=int, default=3)
     a.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint", help="static determinism/sim-API linter (simlint)")
+    lint.add_argument("paths", nargs="+",
+                      help="files or directories to lint")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json"])
+    lint.add_argument("--disable", action="append", default=[],
+                      metavar="RULE", help="rule id to skip "
+                      "(repeatable, e.g. --disable SIM103)")
+
+    chk = sub.add_parser(
+        "check", help="run a program under the dynamic checker")
+    chk.add_argument("program",
+                     help="python file defining program(ctx)")
+    chk.add_argument("--nranks", type=int, default=None,
+                     help="override the program's NRANKS")
+    chk.add_argument("--format", default="text",
+                     choices=["text", "json"])
+    chk.add_argument("--disable", action="append", default=[],
+                     metavar="RULE", help="rule id to skip "
+                     "(repeatable, e.g. --disable FIN001)")
     return parser
 
 
@@ -268,6 +336,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_metrics(args))
     elif args.command == "advisor":
         print(_cmd_advisor(args))
+    elif args.command == "lint":
+        return _cmd_lint(args)
+    elif args.command == "check":
+        return _cmd_check(args)
     else:
         print(FIGURES[args.command](args))
     return 0

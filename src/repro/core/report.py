@@ -8,7 +8,7 @@ helpers here are shared by the benches, the examples, and the docs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from .sweep import METRIC_NAMES, SweepResult

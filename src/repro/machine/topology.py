@@ -9,7 +9,6 @@ as dictionary keys and shared between simulations safely.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
 
 from ..errors import ConfigurationError
 

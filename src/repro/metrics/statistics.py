@@ -9,7 +9,6 @@ bundles the dispersion numbers the reports print.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

@@ -10,7 +10,7 @@ mirroring the paper's Figure 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..errors import ConfigurationError

@@ -187,6 +187,9 @@ class Cluster:
                                  Dict[str, deque]] = {}
         self._dup_ids: Dict[Tuple[int, int], int] = {}
         self._next_comm_id = 1
+        #: Dynamic-correctness checker attached by
+        #: :func:`repro.analysis.enable_checking`; ``None`` when disabled.
+        self.checker: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # plumbing used by the runtime
@@ -196,6 +199,8 @@ class Cluster:
 
     def _register_partitioned(self, req, is_send: bool) -> None:
         """Init-time matching of partitioned halves, in posting order."""
+        if self.checker is not None:
+            self.checker.on_init(req, is_send)
         if is_send:
             key = (req.proc.rank, req.peer_rank, req.tag, req.comm_id)
         else:

@@ -10,7 +10,7 @@ cross-match.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..errors import MPIError
 from .request import waitall

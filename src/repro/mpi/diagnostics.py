@@ -5,7 +5,10 @@ designs".  This module turns the substrate's built-in accounting — library
 lock contention, matching-queue depths and scan counts, NIC utilization,
 cache behaviour — into one per-rank report, so a design change (say, a
 different pready cost or binding policy) can be judged by *why* it moved
-the metrics, not just by how much.
+the metrics, not just by how much.  When the run was made under
+:func:`repro.analysis.enable_checking`, each rank's row also carries its
+dynamic-checker verdict (a ``checks`` column: ``ok`` or the finding
+count).
 """
 
 from __future__ import annotations
@@ -38,6 +41,9 @@ class RankDiagnostics:
     nic_max_queue: int
     cache_hit_ratio: float
     cache_invalidations: int
+    #: Findings the dynamic checker attributed to this rank (0 when the
+    #: cluster ran without :func:`repro.analysis.enable_checking`).
+    checker_findings: int = 0
 
     @property
     def mean_scan_length(self) -> float:
@@ -49,11 +55,14 @@ class RankDiagnostics:
 def collect_diagnostics(cluster) -> List[RankDiagnostics]:
     """Snapshot every rank's counters from a (finished) cluster run."""
     out: List[RankDiagnostics] = []
+    checker = getattr(cluster, "checker", None)
     for proc in cluster.procs:
         lock: MutexStats = proc.lock.stats
         match = proc.matching.stats
         nic = proc.nic.stats
         cache = proc.cache.stats
+        n_findings = (len(checker.findings_for_rank(proc.rank))
+                      if checker is not None else 0)
         out.append(RankDiagnostics(
             rank=proc.rank,
             lock_acquisitions=lock.acquisitions,
@@ -71,6 +80,7 @@ def collect_diagnostics(cluster) -> List[RankDiagnostics]:
             nic_max_queue=nic.max_queue,
             cache_hit_ratio=cache.hit_ratio,
             cache_invalidations=cache.invalidations,
+            checker_findings=n_findings,
         ))
     return out
 
@@ -82,7 +92,7 @@ def cluster_report(cluster) -> str:
     diags = collect_diagnostics(cluster)
     headers = ["rank", "lock acq", "contended", "lock wait",
                "matches (p/u)", "scan avg", "q depth (p/u)",
-               "nic msgs", "nic MiB", "nic busy", "cache hit"]
+               "nic msgs", "nic MiB", "nic busy", "cache hit", "checks"]
     rows = []
     for d in diags:
         rows.append([
@@ -97,6 +107,7 @@ def cluster_report(cluster) -> str:
             f"{d.nic_bytes / (1 << 20):.1f}",
             f"{d.nic_busy_time * 1e3:.2f}ms",
             f"{d.cache_hit_ratio * 100:.0f}%",
+            "ok" if d.checker_findings == 0 else f"{d.checker_findings}!",
         ])
     return ascii_table(headers, rows,
                        title=f"cluster diagnostics at t="

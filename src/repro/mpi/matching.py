@@ -14,7 +14,7 @@ match attempt so the runtime can charge ``match_cost`` per element.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from .constants import ANY_SOURCE, ANY_TAG

@@ -13,7 +13,7 @@ from typing import Any, Optional
 
 from ..errors import RequestStateError
 from ..sim import Event
-from .request import RecvRequest, Request, SendRequest
+from .request import Request
 
 __all__ = ["PersistentSend", "PersistentRecv"]
 

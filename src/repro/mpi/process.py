@@ -22,7 +22,7 @@ from ..errors import ThreadingModeError, TruncationError
 from ..machine import CacheModel, MachineSpec, NUMAModel
 from ..network import NIC, Fabric, Transmission
 from ..sim import Mutex, Simulator, Store, TraceRecorder
-from .constants import ANY_SOURCE, ANY_TAG, MPICosts, ThreadingMode
+from .constants import MPICosts, ThreadingMode
 from .matching import Envelope, MatchingEngine
 from .protocol import Frame, FrameKind
 from .request import RecvRequest, SendRequest
@@ -77,6 +77,10 @@ class MPIProcess:
         #: Threads currently spin-waiting inside a blocking MPI call; under
         #: MULTIPLE they contend with the progress engine for the lock.
         self.blocked_waiters = 0
+        #: Optional dynamic-correctness observer (see
+        #: :func:`repro.analysis.enable_checking`).  ``None`` by default so
+        #: the partitioned hot paths pay a single attribute test at most.
+        self.checker: Optional[Any] = None
         sim.process(self._progress_loop(), name=f"rank{rank}.progress")
 
     # ------------------------------------------------------------------

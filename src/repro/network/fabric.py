@@ -9,7 +9,7 @@ co-located on a node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from ..errors import ConfigurationError
 from .model import INTRA_NODE, NIAGARA_EDR, NetworkParams

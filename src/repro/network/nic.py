@@ -14,7 +14,7 @@ paper's observations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..sim import Event, Simulator, Store

@@ -130,12 +130,23 @@ class _PartitionedBase:
             raise RequestStateError(
                 "partition operation outside an active epoch (call start)")
 
+    def _notify_checker(self, hook: str, *args) -> None:
+        """Forward one lifecycle event to the attached dynamic checker.
+
+        A no-op (one attribute test) unless :func:`repro.analysis.
+        enable_checking` installed a checker on this rank's process.
+        """
+        checker = self.proc.checker
+        if checker is not None:
+            getattr(checker, hook)(self, *args)
+
     def wait(self, tc):
         """Generator: complete the current epoch (``MPI_Wait``).
 
         Charges one call overhead, then blocks until every partition of the
         epoch has been transferred; returns the completion time.
         """
+        self._notify_checker("on_wait")
         if self._epoch_done is None:
             raise RequestStateError("wait() before start()")
         yield from self.proc._mpi_entry(tc, self.proc.costs.call_overhead)
@@ -170,6 +181,7 @@ class PartitionedSendRequest(_PartitionedBase):
 
     def start(self, tc):
         """Generator: arm a new send epoch."""
+        self._notify_checker("on_start")
         yield from self._await_bound()
         self._require_inactive()
         if self._epoch_done is not None and not self._epoch_done.triggered:
@@ -194,6 +206,7 @@ class PartitionedSendRequest(_PartitionedBase):
         flag-set plus doorbell.  Either way the calling thread pays the
         buffer-read (hot/cold cache) cost for its partition.
         """
+        self._notify_checker("on_pready", partition)
         self._check_partition(partition)
         if self._ready[partition]:
             raise RequestStateError(
@@ -262,6 +275,22 @@ class PartitionedSendRequest(_PartitionedBase):
         for p in partitions:
             yield from self.pready(tc, p)
 
+    def note_buffer_write(self, partition: int) -> None:
+        """Annotate an application write into ``partition``'s send buffer.
+
+        Zero-cost instrumentation: real partitioned programs fill each
+        partition before marking it ready, and writing after ``pready`` is a
+        data race with the transfer.  Programs that want that race caught
+        call this where the write happens; under
+        :func:`repro.analysis.enable_checking` a write into a
+        partition already marked ready this epoch is reported
+        (rule ``PART004``).  Without a checker attached this is a no-op.
+        """
+        self._notify_checker("on_buffer_write", partition)
+        self.proc.trace.emit(self.sim.now, "part.buffer_write",
+                             rank=self.proc.rank, partition=partition,
+                             epoch=self.epoch)
+
     # -- runtime hooks ----------------------------------------------------
     def _partition_injected(self, epoch: int, partition: int,
                             now: float) -> None:
@@ -299,6 +328,7 @@ class PartitionedRecvRequest(_PartitionedBase):
 
     def start(self, tc):
         """Generator: arm a new receive epoch (posts internal receives)."""
+        self._notify_checker("on_start")
         yield from self._await_bound()
         self._require_inactive()
         if self._epoch_done is not None and not self._epoch_done.triggered:
@@ -325,6 +355,7 @@ class PartitionedRecvRequest(_PartitionedBase):
         an inactive request that has completed an epoch (MPI 4.0 §4.2.3:
         the flag is then true).
         """
+        self._notify_checker("on_parrived", partition)
         if not (0 <= partition < self.partitions):
             raise PartitionError(
                 f"partition {partition} out of range "
@@ -355,6 +386,21 @@ class PartitionedRecvRequest(_PartitionedBase):
         """Partitions received so far in the current epoch."""
         return self._arrived
 
+    def note_buffer_read(self, partition: int) -> None:
+        """Annotate an application read of ``partition``'s receive buffer.
+
+        Zero-cost instrumentation, the receive-side mirror of
+        :meth:`PartitionedSendRequest.note_buffer_write`: consuming a
+        partition before it has actually arrived reads garbage.  Under
+        :func:`repro.analysis.enable_checking` a read of a
+        partition that has not landed this epoch is reported
+        (rule ``PART005``).  Without a checker attached this is a no-op.
+        """
+        self._notify_checker("on_buffer_read", partition)
+        self.proc.trace.emit(self.sim.now, "part.buffer_read",
+                             rank=self.proc.rank, partition=partition,
+                             epoch=self.epoch)
+
     # -- runtime hooks ----------------------------------------------------
     def _partition_arrived(self, epoch: int, partition: int, now: float,
                            payload: Any = None) -> None:
@@ -370,6 +416,7 @@ class PartitionedRecvRequest(_PartitionedBase):
         self._mark_arrived(partition, now, payload)
 
     def _mark_arrived(self, partition: int, now: float, payload: Any) -> None:
+        self._notify_checker("on_partition_arrived", partition, now)
         ev = self._arrived_events[partition]
         if ev.triggered:
             raise RequestStateError(

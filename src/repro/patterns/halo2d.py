@@ -14,7 +14,7 @@ section draws, and so 2D stencil users can profile their shape directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..mpi import Cluster

@@ -18,10 +18,10 @@ Per step and mode:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
-from ..mpi import Cluster, waitall
+from ..mpi import Cluster
 from ..partitioned import partition_sizes
 from .motif import CommMode, PatternConfig, PatternRunResult
 

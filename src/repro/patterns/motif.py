@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from ..errors import ConfigurationError
 from ..machine import BindPolicy, MachineSpec, NIAGARA_NODE

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
-from ..mpi import Cluster, waitall
+from ..mpi import Cluster
 from ..partitioned import partition_sizes
 from .motif import CommMode, PatternConfig, PatternRunResult
 

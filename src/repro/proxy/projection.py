@@ -14,7 +14,7 @@ counts, extracts ``f`` per count, and applies the projection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .snap import SnapConfig, SnapRunResult, run_snap

@@ -66,27 +66,40 @@ class Resource:
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
+            granted = True
         else:
             self._waiters.append(ev)
+            granted = False
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_resource_request(self, ev, granted)
         return ev
 
     def release(self) -> None:
         """Return one unit, waking the longest-waiting requester if any."""
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        handed: Optional[Event] = None
         if self._waiters:
             # Hand the unit directly to the next waiter (count unchanged).
-            self._waiters.popleft().succeed(self)
+            handed = self._waiters.popleft()
+            handed.succeed(self)
         else:
             self._in_use -= 1
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_resource_release(self, handed)
 
     def cancel(self, event: Event) -> bool:
         """Withdraw a pending request; returns False if already granted."""
         try:
             self._waiters.remove(event)
-            return True
         except ValueError:
             return False
+        monitor = self.sim.monitor
+        if monitor is not None:
+            monitor.on_resource_cancel(self, event)
+        return True
 
 
 @dataclass

@@ -14,7 +14,7 @@ This is an extension beyond the paper's evaluation; the example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, Optional
 
 from ..errors import ConfigurationError
 from ..sim import Event, Simulator, Store

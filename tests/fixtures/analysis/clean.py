@@ -1,0 +1,24 @@
+"""Fixture: a correct multi-epoch partitioned exchange — zero findings."""
+
+NRANKS = 2
+EPOCHS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        for _ in range(EPOCHS):
+            yield from ps.start(main)
+            for p in range(2):
+                ps.note_buffer_write(p)
+                yield from ps.pready(main, p)
+            yield from ps.wait(main)
+        return ps.epoch
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    for _ in range(EPOCHS):
+        yield from pr.start(main)
+        yield from pr.wait(main)
+        for p in range(2):
+            pr.note_buffer_read(p)
+    return pr.arrived_count

@@ -1,0 +1,25 @@
+"""Fixture: two ranks take two shared locks in opposite order (RES001)."""
+
+from repro.sim import Mutex
+
+NRANKS = 2
+
+
+def _locks(ctx):
+    locks = getattr(ctx.cluster, "_fixture_locks", None)
+    if locks is None:
+        locks = (Mutex(ctx.sim, name="lockA"), Mutex(ctx.sim, name="lockB"))
+        ctx.cluster._fixture_locks = locks
+    return locks
+
+
+def program(ctx):
+    lock_a, lock_b = _locks(ctx)
+    first, second = ((lock_a, lock_b) if ctx.rank == 0
+                     else (lock_b, lock_a))
+    yield from first.acquire()
+    yield from ctx.elapse(1e-4)            # let the peer take its first lock
+    yield from second.acquire()            # classic lock-order inversion
+    second.release()
+    first.release()
+    return None

@@ -1,0 +1,24 @@
+"""Fixture: receive buffer read before the partition arrived (PART005).
+
+The run completes; only the happens-before tracker flags the read.
+"""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        yield from ps.start(main)
+        yield from ctx.elapse(1e-3)        # receiver reads before this
+        yield from ps.pready(main, 0)
+        yield from ps.pready(main, 1)
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    yield from pr.start(main)
+    pr.note_buffer_read(0)                 # nothing has arrived yet: race
+    yield from pr.wait(main)
+    pr.note_buffer_read(0)                 # after wait: fine
+    return None

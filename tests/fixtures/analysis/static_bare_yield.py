@@ -1,0 +1,7 @@
+"""Static fixture: bare value yielded from a process generator (SIM105)."""
+
+
+def process(sim, period):
+    while True:
+        yield sim.timeout(period)
+        yield 42  # hazard: not an Event; the kernel cannot wait on it

@@ -1,0 +1,9 @@
+"""Static fixture: hazard-free simulated-process code — zero findings."""
+
+
+def process(sim, rng, period):
+    ranks = sorted({3, 1, 2})
+    while True:
+        yield sim.timeout(period * rng.uniform(0.9, 1.1))
+        for rank in ranks:
+            yield sim.timeout(rank * 1e-9)

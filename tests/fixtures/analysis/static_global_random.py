@@ -1,0 +1,7 @@
+"""Static fixture: module-level RNG instead of repro.sim.rng (SIM102)."""
+
+import random  # hazard: global, seed-shared RNG state
+
+
+def jitter(scale):
+    return random.uniform(0.0, scale)

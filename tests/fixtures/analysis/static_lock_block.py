@@ -1,0 +1,8 @@
+"""Static fixture: blocking on a resource while holding a mutex (SIM106)."""
+
+
+def critical(sim, lock, nic):
+    yield from lock.acquire()
+    yield nic.request()  # hazard: blocks while the mutex is held
+    nic.release()
+    lock.release()

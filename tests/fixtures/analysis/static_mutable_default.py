@@ -1,0 +1,6 @@
+"""Static fixture: mutable default argument (SIM104)."""
+
+
+def collect(sample, sink=[]):  # hazard: shared across calls
+    sink.append(sample)
+    return sink

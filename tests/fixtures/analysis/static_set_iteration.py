@@ -1,0 +1,6 @@
+"""Static fixture: iteration over a set display (SIM103)."""
+
+
+def visit(handler):
+    for rank in {3, 1, 2}:  # hazard: hash-ordered iteration
+        handler(rank)

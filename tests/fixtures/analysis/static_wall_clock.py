@@ -1,0 +1,8 @@
+"""Static fixture: wall-clock read inside simulated code (SIM101)."""
+
+import time
+
+
+def sample_phase():
+    start = time.time()  # hazard: host wall clock, not sim.now
+    return start

@@ -1,0 +1,12 @@
+"""Fixture: a psend_init with no matching precv_init (rule FIN002)."""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        yield from comm.psend_init(main, 1, 7, 4096, 2)
+        return None                        # peer never posts precv_init
+    yield from ctx.elapse(0.0)
+    return None

@@ -1,0 +1,25 @@
+"""Fixture: send buffer written after its pready (rule PART004).
+
+The run itself completes — the race is invisible to the runtime's own
+state machine and only the happens-before tracker sees it.
+"""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        yield from ps.start(main)
+        ps.note_buffer_write(0)            # fill partition 0 ...
+        yield from ps.pready(main, 0)      # ... hand it to MPI ...
+        ps.note_buffer_write(0)            # ... then scribble on it: race
+        ps.note_buffer_write(1)
+        yield from ps.pready(main, 1)
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

@@ -1,0 +1,85 @@
+"""Static analyzer (simlint): rules, suppression, and the shipped tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (all_rule_infos, lint_file, lint_paths,
+                            lint_source)
+from repro.analysis.lint import PARSE_ERROR_RULE
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+#: static fixture file -> the one rule it must trigger, exactly once.
+STATIC_CASES = [
+    ("static_wall_clock.py", "SIM101"),
+    ("static_global_random.py", "SIM102"),
+    ("static_set_iteration.py", "SIM103"),
+    ("static_mutable_default.py", "SIM104"),
+    ("static_bare_yield.py", "SIM105"),
+    ("static_lock_block.py", "SIM106"),
+]
+
+
+class TestRuleRegistry:
+    def test_at_least_eight_rules_with_four_per_layer(self):
+        infos = all_rule_infos()
+        static = [i for i in infos if i.category == "static"]
+        dynamic = [i for i in infos if i.category == "dynamic"]
+        assert len(infos) >= 8
+        assert len(static) >= 4
+        assert len(dynamic) >= 4
+
+    def test_rule_ids_unique(self):
+        ids = [i.id for i in all_rule_infos()]
+        assert len(ids) == len(set(ids))
+
+
+class TestStaticFixtures:
+    @pytest.mark.parametrize("fixture,rule", STATIC_CASES)
+    def test_rule_fires_exactly_once(self, fixture, rule):
+        findings = lint_file(FIXTURES / fixture)
+        assert [f.rule for f in findings] == [rule]
+
+    @pytest.mark.parametrize("fixture,rule", STATIC_CASES)
+    def test_rule_is_load_bearing(self, fixture, rule):
+        # Disabling the rule silences the fixture entirely: the finding
+        # really comes from that rule, not from a sibling.
+        assert lint_file(FIXTURES / fixture, disabled=[rule]) == []
+
+    def test_clean_fixture_has_no_findings(self):
+        assert lint_file(FIXTURES / "static_clean.py") == []
+
+
+class TestLintSource:
+    def test_suppression_comment(self):
+        src = "import random  # simlint: skip\n"
+        assert lint_source(src) == []
+        assert [f.rule for f in lint_source("import random\n")] == ["SIM102"]
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", filename="broken.py")
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+
+    def test_findings_carry_location(self):
+        findings = lint_source("import time\nt = time.time()\n",
+                               filename="clock.py")
+        assert findings and findings[0].file == "clock.py"
+        assert findings[0].line == 2
+
+    def test_default_rng_not_flagged(self):
+        src = ("import numpy as np\n"
+               "rng = np.random.default_rng(0)\n"
+               "x = rng.uniform()\n")
+        assert lint_source(src) == []
+
+
+class TestShippedTree:
+    def test_shipped_tree_is_clean(self):
+        # The acceptance criterion: the linter over its own codebase,
+        # benchmarks and examples reports nothing.
+        root = Path(__file__).parent.parent
+        paths = [root / "src" / "repro", root / "benchmarks",
+                 root / "examples"]
+        findings = lint_paths([p for p in paths if p.exists()])
+        assert findings == []

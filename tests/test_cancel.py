@@ -1,7 +1,5 @@
 """``MPI_Cancel`` semantics on pending receives."""
 
-import pytest
-
 from repro.mpi import Cluster
 
 

@@ -1,8 +1,13 @@
 """CLI: argument parsing and end-to-end command output."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import FIGURES, build_parser, main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
 
 
 class TestParser:
@@ -30,6 +35,21 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
+
+    def test_lint_args(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "tests", "--format", "json",
+             "--disable", "SIM103", "--disable", "SIM104"])
+        assert args.paths == ["src", "tests"]
+        assert args.format == "json"
+        assert args.disable == ["SIM103", "SIM104"]
+
+    def test_check_args(self):
+        args = build_parser().parse_args(
+            ["check", "prog.py", "--nranks", "4"])
+        assert args.program == "prog.py"
+        assert args.nranks == 4
+        assert args.format == "text"
 
 
 class TestCommands:
@@ -72,3 +92,71 @@ class TestCommands:
         assert main(["fig13"]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out and "256" in out
+
+
+class TestAnalysisCommands:
+    def test_lint_clean_path_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "static_clean.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_findings_exit_one(self, capsys):
+        code = main(["lint", str(FIXTURES / "static_wall_clock.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SIM101" in out and "1 finding(s)" in out
+
+    def test_lint_disable_silences_rule(self, capsys):
+        code = main(["lint", str(FIXTURES / "static_wall_clock.py"),
+                     "--disable", "SIM101"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_lint_json_output(self, capsys):
+        code = main(["lint", str(FIXTURES / "static_global_random.py"),
+                     "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "SIM102"
+
+    def test_lint_shipped_tree_clean(self, capsys):
+        root = Path(__file__).parent.parent
+        code = main(["lint", str(root / "src" / "repro"),
+                     str(root / "benchmarks"), str(root / "examples")])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_check_clean_program(self, capsys):
+        assert main(["check", str(FIXTURES / "clean.py")]) == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_check_violating_program_exits_one(self, capsys):
+        code = main(["check", str(FIXTURES / "double_pready.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PART001" in out and "VIOLATIONS" in out
+
+    def test_check_json_output(self, capsys):
+        code = main(["check", str(FIXTURES / "leaked_request.py"),
+                     "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert [f["rule"] for f in payload["findings"]] == ["FIN001"]
+
+    def test_check_disable_silences_rule(self, capsys):
+        code = main(["check", str(FIXTURES / "leaked_request.py"),
+                     "--disable", "FIN001"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_lint_missing_path_exits_two(self, capsys):
+        code = main(["lint", "no/such/dir"])
+        assert code == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_check_missing_program_exits_two(self, capsys):
+        code = main(["check", "no/such/program.py"])
+        assert code == 2
+        assert "no such program file" in capsys.readouterr().err

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.machine import (BindPolicy, CacheModel, ComputeModel, NIAGARA_NODE,
-                           NUMAModel, MachineSpec, bind_threads,
+                           NUMAModel, bind_threads,
                            scaled_compute_time, validate_spec)
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError, DeadlockError
 from repro.machine import NIAGARA_NODE
-from repro.mpi import Cluster, DEFAULT_COSTS, ThreadingMode
+from repro.mpi import Cluster, DEFAULT_COSTS
 from repro.network import NIAGARA_EDR, Placement
 
 

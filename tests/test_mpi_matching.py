@@ -1,7 +1,5 @@
 """Unit tests for the tag-matching engine."""
 
-import pytest
-
 from repro.mpi import ANY_SOURCE, ANY_TAG, Envelope, MatchingEngine
 
 

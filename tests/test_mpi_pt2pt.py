@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, MPIError, TruncationError
-from repro.mpi import ANY_SOURCE, ANY_TAG, Cluster, ThreadingMode, waitall
+from repro.mpi import ANY_SOURCE, ANY_TAG, Cluster, waitall
 from repro.network import NIAGARA_EDR
 
 

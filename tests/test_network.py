@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.network import (Fabric, INTRA_NODE, NIAGARA_EDR, NIC,
                            NetworkParams, Placement, Transmission,
                            validate_params)
-from repro.sim import Simulator
 
 
 class TestNetworkParams:

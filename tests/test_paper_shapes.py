@@ -9,7 +9,6 @@ exactly the ones EXPERIMENTS.md records.
 import pytest
 
 from repro.core import (COLD, HOT, PtpBenchmarkConfig, run_ptp_benchmark)
-from repro.machine import BindPolicy
 from repro.noise import (GaussianNoise, NoNoise, SingleThreadNoise,
                          UniformNoise)
 from repro.patterns import (CommMode, Halo3DGrid, PatternConfig,

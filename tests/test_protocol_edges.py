@@ -4,7 +4,7 @@ intra-node paths, ordering across protocols."""
 import pytest
 
 from repro.mpi import Cluster, ThreadingMode
-from repro.network import NIAGARA_EDR, Placement
+from repro.network import Placement
 from repro.partitioned import IMPL_MPIPCL, IMPL_NATIVE
 
 

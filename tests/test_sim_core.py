@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim import (AllOf, AnyOf, Event, Interrupt, Process, Simulator,
+from repro.sim import (AllOf, AnyOf, Event, Interrupt, Process,
                        Timeout)
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Mutex, Resource, Simulator, Store
+from repro.sim import Mutex, Resource, Store
 
 
 class TestResource:

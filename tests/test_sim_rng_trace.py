@@ -1,7 +1,6 @@
 """Unit tests for RNG streams and the trace recorder."""
 
 import numpy as np
-import pytest
 
 from repro.sim import RandomStreams, TraceRecorder
 
