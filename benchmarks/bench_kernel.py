@@ -3,9 +3,14 @@
 Not a paper figure: these guard the substrate's own performance, since
 every figure reproduction pays the kernel's event-dispatch cost.  They use
 pytest-benchmark's normal multi-round timing (the operations are cheap).
+
+``scripts/bench_guard.py`` mirrors these workloads with a plain-stdlib
+timer and fails CI on >2x regressions against ``BENCH_BASELINE.json``;
+keep the two in sync when adding kernels here.
 """
 
-from repro.core import PtpBenchmarkConfig, run_ptp_benchmark
+from repro.core import (PtpBenchmarkConfig, PtpResult, SweepPoint,
+                        SweepResult, run_ptp_benchmark)
 from repro.sim import Simulator, Store
 
 
@@ -58,6 +63,48 @@ def test_kernel_store_handoff(benchmark):
         return c.value
 
     assert benchmark(run) == sum(range(500))
+
+
+def test_kernel_never_waited_timeouts(benchmark):
+    """The lazy-callback fast path: events processed with no waiter.
+
+    Compute delays and NIC gaps are fired-and-forgotten far more often
+    than they are waited on; this guards the no-allocation dispatch of
+    such events.
+    """
+
+    def run():
+        sim = Simulator()
+        for _ in range(2000):
+            sim.timeout(1.0)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 2000
+
+
+def test_sweep_point_lookup(benchmark):
+    """O(1) cell lookup on a figure-sized grid (guards the sweep index)."""
+    sizes = [64 * 4 ** k for k in range(10)]
+    counts = [1, 2, 4, 8, 16, 32]
+    sweep = SweepResult()
+    for n in counts:
+        for m in sizes:
+            if m < n:
+                continue
+            cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n)
+            sweep.add(SweepPoint(config=cfg, result=PtpResult(config=cfg)))
+
+    def run():
+        hits = 0
+        for _ in range(50):
+            for n in counts:
+                for m in sizes:
+                    if m >= n:
+                        hits += sweep.point(m, n).config.partitions
+        return hits
+
+    assert benchmark(run) > 0
 
 
 def test_end_to_end_trial_cost(benchmark):

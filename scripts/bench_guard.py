@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Benchmark regression guard for the simulator kernel.
+
+Times a fixed set of kernel workloads (mirroring
+``benchmarks/bench_kernel.py``) with a plain stdlib timer and compares
+them against the checked-in ``BENCH_BASELINE.json``.  Any kernel slower
+than ``--threshold`` (default 2.0) times its baseline fails the run —
+the CI gate behind the hot-path optimizations in ``repro.sim.core``.
+
+Raw wall times are meaningless across machines, so every measurement is
+normalized by a calibration loop (pure-Python arithmetic) timed on the
+same host: the stored numbers are "calibration units", roughly stable
+across hardware generations, and the 2x threshold absorbs the rest.
+
+Usage::
+
+    python scripts/bench_guard.py              # compare against baseline
+    python scripts/bench_guard.py --update     # rewrite the baseline
+    python scripts/bench_guard.py --threshold 3.0 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (PtpBenchmarkConfig, PtpResult, SweepPoint,  # noqa: E402
+                        SweepResult, run_ptp_benchmark)
+from repro.sim import Simulator, Store  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_BASELINE.json"
+
+#: Schema marker so stale baselines fail loudly instead of silently.
+BASELINE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Workloads — keep in sync with benchmarks/bench_kernel.py
+# ---------------------------------------------------------------------------
+
+def timeout_dispatch():
+    sim = Simulator()
+    for _ in range(1000):
+        sim.timeout(1.0)
+    sim.run()
+    return sim.events_processed
+
+
+def never_waited_timeouts():
+    sim = Simulator()
+    for _ in range(2000):
+        sim.timeout(1.0)
+    sim.run()
+    return sim.events_processed
+
+
+def process_switching():
+    sim = Simulator()
+
+    def proc():
+        for _ in range(100):
+            yield sim.timeout(1.0)
+
+    for _ in range(10):
+        sim.process(proc())
+    sim.run()
+    return sim.now
+
+
+def store_handoff():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        for i in range(500):
+            yield sim.timeout(0.001)
+            store.put(i)
+
+    def consumer():
+        total = 0
+        for _ in range(500):
+            total += yield store.get()
+        return total
+
+    sim.process(producer())
+    c = sim.process(consumer())
+    sim.run()
+    return c.value
+
+
+def end_to_end_trial():
+    cfg = PtpBenchmarkConfig(message_bytes=1 << 16, partitions=8,
+                             compute_seconds=1e-3, iterations=1, warmup=0)
+    return len(run_ptp_benchmark(cfg).samples)
+
+
+def _build_sweep():
+    sizes = [64 * 4 ** k for k in range(10)]
+    counts = [1, 2, 4, 8, 16, 32]
+    sweep = SweepResult()
+    for n in counts:
+        for m in sizes:
+            if m < n:
+                continue
+            cfg = PtpBenchmarkConfig(message_bytes=m, partitions=n)
+            sweep.add(SweepPoint(config=cfg, result=PtpResult(config=cfg)))
+    return sweep, sizes, counts
+
+
+_SWEEP_CACHE = None
+
+
+def sweep_point_lookup():
+    global _SWEEP_CACHE
+    if _SWEEP_CACHE is None:
+        _SWEEP_CACHE = _build_sweep()
+    sweep, sizes, counts = _SWEEP_CACHE
+    hits = 0
+    for _ in range(50):
+        for n in counts:
+            for m in sizes:
+                if m >= n:
+                    hits += sweep.point(m, n).config.partitions
+    return hits
+
+
+KERNELS = {
+    "timeout_dispatch": timeout_dispatch,
+    "never_waited_timeouts": never_waited_timeouts,
+    "process_switching": process_switching,
+    "store_handoff": store_handoff,
+    "end_to_end_trial": end_to_end_trial,
+    "sweep_point_lookup": sweep_point_lookup,
+}
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+def _calibrate() -> float:
+    """Seconds for a fixed pure-Python arithmetic loop (machine speed)."""
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        total = 0
+        for i in range(200_000):
+            total += i * i
+        best = min(best, time.perf_counter() - start)
+    assert total > 0
+    return best
+
+
+def _time_kernel(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall seconds for one call of ``fn``."""
+    fn()  # warm caches / lazy imports outside the timed region
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(repeats: int) -> dict:
+    """Calibration-normalized score per kernel (lower is faster)."""
+    cal = _calibrate()
+    return {
+        name: _time_kernel(fn, repeats) / cal
+        for name, fn in KERNELS.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Guard logic
+# ---------------------------------------------------------------------------
+
+def compare(current: dict, baseline: dict, threshold: float):
+    """Yield ``(name, current, baseline, ratio, ok)`` rows."""
+    for name, score in current.items():
+        base = baseline.get(name)
+        if base is None:
+            yield name, score, None, None, True
+            continue
+        ratio = score / base if base > 0 else float("inf")
+        yield name, score, base, ratio, ratio <= threshold
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_BASELINE.json from this host")
+    parser.add_argument("--baseline", default=str(BASELINE_PATH))
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when current/baseline exceeds this")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable results")
+    args = parser.parse_args(argv)
+
+    current = measure(args.repeats)
+    baseline_path = pathlib.Path(args.baseline)
+
+    if args.update:
+        payload = {"version": BASELINE_VERSION, "scores": current}
+        baseline_path.write_text(json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"baseline written to {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path}; run with --update",
+              file=sys.stderr)
+        return 2
+    data = json.loads(baseline_path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        print(f"error: baseline version {data.get('version')!r} != "
+              f"{BASELINE_VERSION}; regenerate with --update",
+              file=sys.stderr)
+        return 2
+
+    rows = list(compare(current, data["scores"], args.threshold))
+    failed = [r for r in rows if not r[4]]
+    if args.json:
+        print(json.dumps({
+            "ok": not failed,
+            "threshold": args.threshold,
+            "results": [
+                {"kernel": n, "current": c, "baseline": b, "ratio": r,
+                 "ok": ok}
+                for n, c, b, r, ok in rows
+            ],
+        }, indent=2))
+    else:
+        for name, cur, base, ratio, ok in rows:
+            if base is None:
+                print(f"  {name:24s} {cur:9.3f}  (no baseline — add with "
+                      f"--update)")
+            else:
+                flag = "ok" if ok else f"REGRESSION >{args.threshold:g}x"
+                print(f"  {name:24s} {cur:9.3f} vs {base:9.3f} "
+                      f"({ratio:5.2f}x)  {flag}")
+        verdict = "FAIL" if failed else "PASS"
+        print(f"bench guard: {verdict} "
+              f"({len(rows) - len(failed)}/{len(rows)} within "
+              f"{args.threshold:g}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,10 @@
 Usage::
 
     python -m repro list
-    python -m repro fig4 [--full]            # any of fig4..fig13
+    python -m repro fig4 [--full] [--jobs 4] [--cache-dir .repro-cache]
+    python -m repro sweep --sizes 65536,1048576 --counts 1,8 --jobs 4 \\
+        --cache-dir .repro-cache --metric overhead
+    python -m repro cache info --cache-dir .repro-cache
     python -m repro metrics --message-bytes 1048576 --partitions 8 \\
         --compute-ms 10 --noise uniform --noise-percent 4
     python -m repro advisor --message-bytes 1048576 --compute-ms 10 \\
@@ -15,19 +18,26 @@ Tables match the ``benchmarks/`` harness output; the CLI exists so the
 suite is usable without pytest, the way the paper's artifact is driven
 from a shell.  ``lint`` and ``check`` expose the
 :mod:`repro.analysis` correctness analyzer (exit code 1 on findings).
+The point-to-point figures and ``sweep`` run on the parallel engine
+(:mod:`repro.core.parallel`): ``--jobs`` fans grid cells out over worker
+processes and ``--cache-dir`` reuses every already-computed cell, with
+results bit-identical to a serial, uncached run (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .core import (PtpBenchmarkConfig, fig4_overhead,
-                   fig5_perceived_bandwidth, fig6_availability,
-                   fig7_noise_models, fig8_early_bird, metric_table,
-                   recommend_partitions, run_ptp_benchmark, series_table)
+from .core import (METRIC_NAMES, PtpBenchmarkConfig, ResultCache,
+                   fig4_overhead, fig5_perceived_bandwidth,
+                   fig6_availability, fig7_noise_models, fig8_early_bird,
+                   metric_table, recommend_partitions, run_ptp_benchmark,
+                   save_sweep, series_table, sweep_ptp)
 from .core.report import ascii_table, format_bytes
 from .noise import noise_model_from_name
 from .patterns import (CommMode, Halo3DGrid, PatternConfig, Sweep3DGrid,
@@ -37,55 +47,90 @@ from .proxy import SnapConfig, snap_projection
 __all__ = ["main", "build_parser"]
 
 
+def _engine_options(args) -> Dict:
+    """The ``jobs``/``cache`` kwargs a ptp figure driver understands."""
+    cache_dir = getattr(args, "cache_dir", None)
+    return {
+        "jobs": getattr(args, "jobs", 1) or 1,
+        "cache": ResultCache(cache_dir) if cache_dir else None,
+    }
+
+
+def _engine_footer(sweeps, cache: Optional[ResultCache]) -> str:
+    """The sweep report's provenance line: cells, cache hits, jobs."""
+    stats = [s.stats for s in sweeps if s.stats is not None]
+    if not stats:
+        return ""
+    total = sum(s.total_cells for s in stats)
+    executed = sum(s.executed for s in stats)
+    hits = sum(s.cache_hits for s in stats)
+    line = (f"sweep engine: {total} cells, {executed} executed, "
+            f"{hits} cache hits (jobs={stats[0].jobs})")
+    if cache is not None:
+        line += f"; cache at {cache.root} now holds {len(cache)} entries"
+    return "\n\n" + line
+
+
 def _fig4(args) -> str:
-    panels = fig4_overhead(quick=not args.full)
+    engine = _engine_options(args)
+    panels = fig4_overhead(quick=not args.full, **engine)
     return "\n\n".join(
         metric_table(sweep, "overhead",
                      title=f"Fig 4 — Overhead (x), {cache} cache")
-        for cache, sweep in panels.items())
+        for cache, sweep in panels.items()) + \
+        _engine_footer(panels.values(), engine["cache"])
 
 
 def _fig5(args) -> str:
-    panels = fig5_perceived_bandwidth(quick=not args.full)
+    engine = _engine_options(args)
+    panels = fig5_perceived_bandwidth(quick=not args.full, **engine)
     return "\n\n".join(
         metric_table(sweep, "perceived_bandwidth",
                      title=f"Fig 5 — Perceived bandwidth (GB/s), uniform "
                            f"{pct:g}% noise, {comp * 1e3:g}ms")
-        for (pct, comp), sweep in panels.items())
+        for (pct, comp), sweep in panels.items()) + \
+        _engine_footer(panels.values(), engine["cache"])
 
 
 def _fig6(args) -> str:
-    panels = fig6_availability(quick=not args.full)
+    engine = _engine_options(args)
+    panels = fig6_availability(quick=not args.full, **engine)
     return "\n\n".join(
         metric_table(sweep, "application_availability",
                      title=f"Fig 6 — Availability, single delay 4%, "
                            f"{comp * 1e3:g}ms")
-        for comp, sweep in panels.items())
+        for comp, sweep in panels.items()) + \
+        _engine_footer(panels.values(), engine["cache"])
 
 
 def _fig7(args) -> str:
-    panels = fig7_noise_models(quick=not args.full)
+    engine = _engine_options(args)
+    panels = fig7_noise_models(quick=not args.full, **engine)
     parts: List[str] = []
+    sweeps: List = []
     for comp, by_model in panels.items():
         sizes = next(iter(by_model.values())).message_sizes
         rows = []
         for model, sweep in by_model.items():
+            sweeps.append(sweep)
             series = dict(sweep.series("application_availability")[16])
             rows.append([model] + [f"{series[m]:.3f}" for m in sizes])
         parts.append(ascii_table(
             ["model"] + [format_bytes(m) for m in sizes], rows,
             title=f"Fig 7 — Availability by noise model, "
                   f"{comp * 1e3:g}ms"))
-    return "\n\n".join(parts)
+    return "\n\n".join(parts) + _engine_footer(sweeps, engine["cache"])
 
 
 def _fig8(args) -> str:
-    panels = fig8_early_bird(quick=not args.full)
+    engine = _engine_options(args)
+    panels = fig8_early_bird(quick=not args.full, **engine)
     return "\n\n".join(
         metric_table(sweep, "early_bird_fraction",
                      title=f"Fig 8 — Early-bird (%), uniform 4% noise, "
                            f"{comp * 1e3:g}ms")
-        for comp, sweep in panels.items())
+        for comp, sweep in panels.items()) + \
+        _engine_footer(panels.values(), engine["cache"])
 
 
 def _sweep_fig(compute_seconds: float, full: bool, title: str) -> str:
@@ -218,6 +263,59 @@ def _cmd_advisor(args) -> str:
     return "\n".join(lines)
 
 
+def _parse_int_list(text: str, what: str) -> List[int]:
+    from .errors import ConfigurationError
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ConfigurationError(f"{what} must be comma-separated ints, "
+                                 f"got {text!r}")
+    if not values:
+        raise ConfigurationError(f"{what} must name at least one value")
+    return values
+
+
+def _cmd_sweep(args) -> str:
+    """A figure-shaped grid sweep with full engine control."""
+    noise = noise_model_from_name(args.noise, args.noise_percent)
+    sizes = _parse_int_list(args.sizes, "--sizes")
+    counts = _parse_int_list(args.counts, "--counts")
+    base = PtpBenchmarkConfig(
+        message_bytes=max(sizes),
+        partitions=1,
+        compute_seconds=args.compute_ms / 1e3,
+        noise=noise,
+        cache=args.cache,
+        impl=args.impl,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    sweep = sweep_ptp(base, sizes, counts, jobs=args.jobs or 1,
+                      cache=cache)
+    metrics = METRIC_NAMES if args.metric == "all" else (args.metric,)
+    parts = [metric_table(sweep, metric, title=f"sweep — {metric}")
+             for metric in metrics]
+    parts.append(f"sweep engine: {sweep.stats.describe()}")
+    if cache is not None:
+        parts.append(f"cache at {cache.root}: {cache.hits} hits, "
+                     f"{cache.misses} misses, {cache.stores} stored, "
+                     f"{len(cache)} entries on disk")
+    if args.save:
+        path = save_sweep(sweep, args.save)
+        parts.append(f"saved to {path}")
+    return "\n\n".join(parts)
+
+
+def _cmd_cache(args) -> str:
+    """Inspect or clear a content-addressed result cache directory."""
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        return f"cleared {removed} cached result(s) from {cache.root}"
+    return f"cache at {cache.root}: {len(cache)} entry(ies)"
+
+
 def _findings_json(findings) -> str:
     return json.dumps({
         "ok": not findings,
@@ -260,6 +358,18 @@ def _cmd_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the parallel-engine flags shared by sweep-backed commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count(), metavar="N",
+        help="worker processes for grid cells (default: all cores); "
+             "results are bit-identical to --jobs 1")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache: cells whose config is "
+             "unchanged are reloaded instead of re-simulated")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -274,6 +384,36 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=blurb)
         p.add_argument("--full", action="store_true",
                        help="run the paper's full grid (slow)")
+        if name in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+            _add_engine_args(p)
+
+    sw = sub.add_parser(
+        "sweep", help="run a figure-shaped grid sweep (parallel engine)")
+    sw.add_argument("--sizes", default="65536,1048576,4194304,16777216",
+                    help="comma-separated message sizes in bytes")
+    sw.add_argument("--counts", default="1,2,4,8,16,32",
+                    help="comma-separated partition counts")
+    sw.add_argument("--metric", default="all",
+                    choices=["all"] + list(METRIC_NAMES))
+    sw.add_argument("--compute-ms", type=float, default=10.0)
+    sw.add_argument("--noise", default="none",
+                    choices=["none", "single", "uniform", "gaussian",
+                             "exponential"])
+    sw.add_argument("--noise-percent", type=float, default=4.0)
+    sw.add_argument("--cache", default="hot", choices=["hot", "cold"])
+    sw.add_argument("--impl", default="mpipcl",
+                    choices=["mpipcl", "native"])
+    sw.add_argument("--iterations", type=int, default=3)
+    sw.add_argument("--seed", type=int, default=0)
+    sw.add_argument("--save", default=None, metavar="PATH",
+                    help="also archive the sweep as JSON")
+    _add_engine_args(sw)
+
+    ca = sub.add_parser(
+        "cache", help="inspect or clear a result-cache directory")
+    ca.add_argument("action", choices=["info", "clear"])
+    ca.add_argument("--cache-dir", required=True,
+                    help="cache directory to act on")
 
     m = sub.add_parser("metrics",
                        help="measure one configuration's four metrics")
@@ -332,6 +472,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         print(_cmd_list(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
+    elif args.command == "cache":
+        print(_cmd_cache(args))
     elif args.command == "metrics":
         print(_cmd_metrics(args))
     elif args.command == "advisor":

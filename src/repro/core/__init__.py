@@ -6,6 +6,8 @@ Layers:
   parameter space, measured per the paper's Figure 3 procedure.
 * :func:`sweep_ptp` / :class:`SweepResult` — grids over message size ×
   partition count.
+* :mod:`~repro.core.parallel` — the sweep execution engine: process-pool
+  fan-out plus a content-addressed result cache, bit-identical to serial.
 * ``fig4_…``–``fig8_…`` — per-figure experiment drivers (suite module).
 * :func:`recommend_partitions` — the developer-guidance advisor.
 * :mod:`~repro.core.report` — the text tables the harness prints.
@@ -15,6 +17,8 @@ from .compare import Drift, compare_sweeps, drift_table
 from .config import (COLD, HOT, PAPER_MESSAGE_SIZES, PAPER_PARTITION_COUNTS,
                      PtpBenchmarkConfig)
 from .guidance import OBJECTIVES, Recommendation, recommend_partitions
+from .parallel import (ResultCache, SweepStats, config_fingerprint,
+                       derive_cell_seed, plan_cells, run_cells)
 from .persistence import (load_sweep, result_from_dict,
                           result_to_dict, save_sweep,
                           sweep_from_dict, sweep_to_dict)
@@ -39,6 +43,12 @@ __all__ = [
     "OBJECTIVES",
     "Recommendation",
     "recommend_partitions",
+    "ResultCache",
+    "SweepStats",
+    "config_fingerprint",
+    "derive_cell_seed",
+    "plan_cells",
+    "run_cells",
     "ascii_plot",
     "load_sweep",
     "result_from_dict",

@@ -1,0 +1,323 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+Every figure of the paper is a grid of *independent, deterministic*
+simulations: each cell builds its own two-rank cluster from its own
+config, so cells can run in any order — or concurrently — without
+changing a single bit of any result.  This module exploits that twice:
+
+* :func:`run_sweep` fans grid cells out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers),
+  reassembling results in the serial cell order so a parallel sweep is
+  bit-identical to ``jobs=1``.
+* :class:`ResultCache` is a content-addressed store keyed by
+  :func:`config_fingerprint` — a stable hash of the *fully resolved*
+  :class:`~repro.core.config.PtpBenchmarkConfig`, substrate presets
+  included.  Re-running a figure only computes cells whose configuration
+  actually changed; everything else is reloaded losslessly through
+  :mod:`repro.core.persistence`.
+
+Determinism is preserved by construction: per-cell seeds are derived from
+the base seed and the cell coordinates (:func:`derive_cell_seed`), never
+from execution order, and workers ship raw timelines back to the parent,
+which recomputes the derived metrics exactly as a serial run would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+from concurrent.futures import ProcessPoolExecutor
+from enum import Enum
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from ..errors import ConfigurationError
+from .config import PtpBenchmarkConfig
+from .persistence import result_to_dict, sample_from_dict, sample_to_dict
+from .runner import PtpResult, run_ptp_benchmark
+
+__all__ = ["CACHE_SCHEMA_VERSION", "SweepStats", "ResultCache",
+           "config_fingerprint", "derive_cell_seed", "plan_cells",
+           "run_cells"]
+
+#: Bumped whenever cached entries become unreadable by newer code (layout
+#: changes) *or* stale (simulation semantics changed).  Old entries are
+#: simply treated as misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed config fingerprinting
+# ---------------------------------------------------------------------------
+
+def _canonical(value):
+    """A JSON-able canonical form of any config component.
+
+    Frozen dataclasses (the config itself, machine/network/cost presets)
+    expand field by field; enums collapse to their values; noise models and
+    other plain objects expand to class name + public attributes, so two
+    configs fingerprint equal exactly when every simulated-behaviour input
+    is equal.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return _canonical(value.value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    attrs = getattr(value, "__dict__", None)
+    if attrs is None:
+        raise ConfigurationError(
+            f"cannot fingerprint config component {value!r}")
+    state = {
+        k: _canonical(v)
+        for k, v in sorted(attrs.items())
+        if not k.startswith("_")
+    }
+    return {"__class__": type(value).__name__, **state}
+
+
+def config_fingerprint(config: PtpBenchmarkConfig) -> str:
+    """Stable SHA-256 hex digest of a fully resolved benchmark config.
+
+    Two configs share a fingerprint iff every field — sizes, counts, noise
+    model and its parameters, cache mode, impl, iteration counts, seed, and
+    the whole machine/network/cost substrate — is equal.  The digest is
+    stable across processes and Python versions (no use of ``hash()``).
+    """
+    payload = {"schema": CACHE_SCHEMA_VERSION, "config": _canonical(config)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def derive_cell_seed(base_seed: int, message_bytes: int,
+                     partitions: int) -> int:
+    """Deterministic per-cell seed, independent of execution order.
+
+    Mixes the sweep's base seed with the cell coordinates through SHA-256,
+    so every cell gets a decorrelated noise stream and serial, parallel,
+    and cached runs of the same grid all see identical draws.
+    """
+    blob = f"{base_seed}|{message_bytes}|{partitions}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "little")
+
+
+# ---------------------------------------------------------------------------
+# The content-addressed result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed store of :class:`PtpResult` objects on disk.
+
+    Layout: ``<root>/<first two hex chars>/<fingerprint>.json``, one file
+    per configuration.  Entries are written atomically (tmp file + rename)
+    so concurrent sweeps sharing a cache directory cannot corrupt each
+    other.  Hit/miss/store counters accumulate across calls and feed the
+    sweep report.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, fingerprint: str) -> pathlib.Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, config: PtpBenchmarkConfig) -> Optional[PtpResult]:
+        """The cached result for ``config``, or None (counted as a miss).
+
+        The returned result carries the *live* ``config`` object, so it is
+        indistinguishable from a freshly computed one; metrics are
+        recomputed from the stored timelines, which round-trip exactly.
+        """
+        path = self._path(config_fingerprint(config))
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if data.get("schema") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        result = PtpResult(config=config)
+        for s in data["result"]["samples"]:
+            result.samples.append(sample_from_dict(s))
+        self.hits += 1
+        return result
+
+    def put(self, config: PtpBenchmarkConfig, result: PtpResult) -> None:
+        """Store ``result`` under ``config``'s fingerprint (atomic)."""
+        fingerprint = config_fingerprint(config)
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "label": config.label(),
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+        self.stores += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = len(self)
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# The execution engine
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SweepStats:
+    """How a sweep's cells were produced — the report's provenance line."""
+
+    jobs: int = 1
+    total_cells: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells that had to be simulated despite a cache being attached."""
+        return self.total_cells - self.cache_hits
+
+    def describe(self) -> str:
+        """One-line summary for sweep reports."""
+        return (f"{self.total_cells} cells: {self.executed} executed, "
+                f"{self.cache_hits} cache hits (jobs={self.jobs})")
+
+
+def plan_cells(base: PtpBenchmarkConfig,
+               message_sizes: Sequence[int],
+               partition_counts: Sequence[int],
+               derive_seeds: bool = True) -> List[PtpBenchmarkConfig]:
+    """Resolve a grid into its per-cell configs, in serial sweep order.
+
+    Cells where the message is smaller than the partition count are
+    skipped (they cannot be split), matching how the paper's figures leave
+    those cells empty.  With ``derive_seeds`` (the default) each cell's
+    seed comes from :func:`derive_cell_seed`; otherwise every cell reuses
+    ``base.seed`` (the pre-parallel behaviour).
+    """
+    if not message_sizes or not partition_counts:
+        raise ConfigurationError("sweep needs at least one size and count")
+    cells: List[PtpBenchmarkConfig] = []
+    for n in partition_counts:
+        for m in message_sizes:
+            if m < n:
+                continue
+            overrides = {"message_bytes": m, "partitions": n}
+            if derive_seeds:
+                overrides["seed"] = derive_cell_seed(base.seed, m, n)
+            cells.append(base.with_overrides(**overrides))
+    return cells
+
+
+def _execute_cell(config: PtpBenchmarkConfig) -> List[Dict]:
+    """Worker entry point: run one cell, ship raw timelines back.
+
+    Only the sample timelines cross the process boundary; the parent
+    recomputes the derived metrics from them, exactly as a deserializing
+    load does, so parallel results match serial ones bit for bit.
+    """
+    result = run_ptp_benchmark(config)
+    return [sample_to_dict(s) for s in result.samples]
+
+
+def _result_from_samples(config: PtpBenchmarkConfig,
+                         samples: List[Dict]) -> PtpResult:
+    result = PtpResult(config=config)
+    for s in samples:
+        result.samples.append(sample_from_dict(s))
+    return result
+
+
+def run_cells(cells: Sequence[PtpBenchmarkConfig],
+              jobs: Optional[int] = None,
+              cache: Optional[Union[ResultCache, str, pathlib.Path]] = None,
+              progress: Optional[Callable[[PtpBenchmarkConfig], None]] = None,
+              ) -> Tuple[List[PtpResult], SweepStats]:
+    """Produce one result per cell, in order; the engine behind sweeps.
+
+    Parameters
+    ----------
+    cells:
+        Fully resolved configs, e.g. from :func:`plan_cells`.
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``.  ``jobs=1``
+        runs inline in this process (no pool, no serialization detour for
+        cached comparisons — results are identical either way).
+    cache:
+        A :class:`ResultCache`, or a path to create one at, or ``None`` to
+        always simulate.  Hits skip simulation entirely; fresh results are
+        stored back.
+    progress:
+        Called with each cell's config as it is *planned* (before any
+        simulation), mirroring the serial sweep's callback contract.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1: {jobs}")
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    results: Dict[int, PtpResult] = {}
+    pending: List[Tuple[int, PtpBenchmarkConfig]] = []
+    for i, config in enumerate(cells):
+        if progress is not None:
+            progress(config)
+        cached = cache.get(config) if cache is not None else None
+        if cached is not None:
+            results[i] = cached
+        else:
+            pending.append((i, config))
+
+    stats = SweepStats(jobs=jobs, total_cells=len(cells),
+                       executed=len(pending),
+                       cache_hits=len(cells) - len(pending))
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for i, config in pending:
+                results[i] = run_ptp_benchmark(config)
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                shipped = pool.map(_execute_cell,
+                                   [config for _, config in pending])
+                for (i, config), samples in zip(pending, shipped):
+                    results[i] = _result_from_samples(config, samples)
+        if cache is not None:
+            for i, config in pending:
+                cache.put(config, results[i])
+
+    return [results[i] for i in range(len(cells))], stats

@@ -22,7 +22,8 @@ from ..metrics import PartitionTimeline, PtpMetrics
 from .runner import PtpResult, PtpSample
 from .sweep import SweepResult
 
-__all__ = ["result_to_dict", "result_from_dict", "sweep_to_dict",
+__all__ = ["sample_to_dict", "sample_from_dict",
+           "result_to_dict", "result_from_dict", "sweep_to_dict",
            "sweep_from_dict", "save_sweep", "load_sweep",
            "FORMAT_VERSION"]
 
@@ -46,21 +47,43 @@ def _config_snapshot(config) -> Dict:
     }
 
 
+def sample_to_dict(sample: PtpSample) -> Dict:
+    """Serialize one measured iteration (the timeline is lossless).
+
+    Only the raw timeline is stored; the four derived metrics are
+    recomputed on load, so a round trip reproduces them bit-exactly.
+    """
+    return {
+        "iteration": sample.iteration,
+        "message_bytes": sample.timeline.message_bytes,
+        "pready_times": list(sample.timeline.pready_times),
+        "arrival_times": list(sample.timeline.arrival_times),
+        "join_time": sample.timeline.join_time,
+        "pt2pt_time": sample.timeline.pt2pt_time,
+    }
+
+
+def sample_from_dict(data: Dict) -> PtpSample:
+    """Rebuild one iteration, recomputing its metrics from the timeline."""
+    timeline = PartitionTimeline(
+        message_bytes=data["message_bytes"],
+        pready_times=data["pready_times"],
+        arrival_times=data["arrival_times"],
+        join_time=data["join_time"],
+        pt2pt_time=data["pt2pt_time"],
+    )
+    return PtpSample(
+        iteration=data["iteration"],
+        timeline=timeline,
+        metrics=PtpMetrics.from_timeline(timeline),
+    )
+
+
 def result_to_dict(result: PtpResult) -> Dict:
     """Serialize one configuration's result (timelines are lossless)."""
     return {
         "config": _config_snapshot(result.config),
-        "samples": [
-            {
-                "iteration": s.iteration,
-                "message_bytes": s.timeline.message_bytes,
-                "pready_times": list(s.timeline.pready_times),
-                "arrival_times": list(s.timeline.arrival_times),
-                "join_time": s.timeline.join_time,
-                "pt2pt_time": s.timeline.pt2pt_time,
-            }
-            for s in result.samples
-        ],
+        "samples": [sample_to_dict(s) for s in result.samples],
     }
 
 
@@ -77,18 +100,7 @@ def result_from_dict(data: Dict) -> PtpResult:
         raise ConfigurationError(f"malformed result record: missing {exc}")
     result = PtpResult(config=config)
     for s in samples_data:
-        timeline = PartitionTimeline(
-            message_bytes=s["message_bytes"],
-            pready_times=s["pready_times"],
-            arrival_times=s["arrival_times"],
-            join_time=s["join_time"],
-            pt2pt_time=s["pt2pt_time"],
-        )
-        result.samples.append(PtpSample(
-            iteration=s["iteration"],
-            timeline=timeline,
-            metrics=PtpMetrics.from_timeline(timeline),
-        ))
+        result.samples.append(sample_from_dict(s))
     return result
 
 

@@ -29,11 +29,39 @@ from ..metrics import PartitionTimeline, PtpMetrics, SampleSummary, summarize
 from ..mpi import Cluster
 from .config import COLD, PtpBenchmarkConfig
 
-__all__ = ["PtpSample", "PtpResult", "run_ptp_benchmark"]
+__all__ = ["PtpSample", "PtpResult", "run_ptp_benchmark",
+           "ExecutionCounter", "EXECUTIONS"]
 
 #: Tags used by the two phases (ordinary user tag space).
 _PART_TAG = 100
 _SINGLE_TAG = 101
+
+
+class ExecutionCounter:
+    """Counts full benchmark trials run *in this process*.
+
+    The parallel engine's cache tests use it to prove a cached re-run
+    executed zero simulations.  Worker processes each count their own
+    trials, so under ``jobs > 1`` the parent's counter only reflects
+    inline (non-pooled) executions; use
+    :class:`~repro.core.parallel.SweepStats` for sweep-level accounting.
+    """
+
+    def __init__(self) -> None:
+        #: Trials run in this process since import (or the last reset).
+        self.value = 0
+
+    def bump(self) -> None:
+        """Record one benchmark trial."""
+        self.value += 1
+
+    def reset(self) -> None:
+        """Zero the counter (tests isolate their measurements with this)."""
+        self.value = 0
+
+
+#: Module-level trial counter (see :class:`ExecutionCounter`).
+EXECUTIONS = ExecutionCounter()
 
 
 @dataclass(frozen=True)
@@ -169,6 +197,7 @@ def run_ptp_benchmark(config: PtpBenchmarkConfig) -> PtpResult:
     paper's single-wing point-to-point setup.  Returns the measured
     iterations only — warmup is discarded.
     """
+    EXECUTIONS.bump()
     cluster = Cluster(
         nranks=2,
         spec=config.spec,

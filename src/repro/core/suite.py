@@ -7,7 +7,10 @@ results keyed the way the figure is panelled, and the ``benchmarks/``
 harness prints them with :func:`repro.core.report.metric_table`.
 
 Every driver takes ``quick`` — a reduced grid for CI-speed runs — and
-accepts config overrides for ablations.
+accepts config overrides for ablations.  ``jobs`` and ``cache`` are handed
+straight to :func:`~repro.core.sweep.sweep_ptp`, so any figure can fan its
+grid out over worker processes and reuse cached cells (see
+:mod:`repro.core.parallel`); results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -43,23 +46,26 @@ def _grid(quick: bool,
 def fig4_overhead(quick: bool = True,
                   sizes: Optional[Sequence[int]] = None,
                   counts: Optional[Sequence[int]] = None,
+                  jobs: int = 1, cache=None,
                   **overrides) -> Dict[str, SweepResult]:
     """Figure 4: overhead vs message size, hot and cold cache, no noise,
     10 ms compute.  Returns ``{"hot": sweep, "cold": sweep}``."""
     sizes, counts = _grid(quick, sizes, counts)
     out: Dict[str, SweepResult] = {}
-    for cache in (HOT, COLD):
+    for cache_mode in (HOT, COLD):
         base = PtpBenchmarkConfig(
             message_bytes=sizes[0], partitions=1,
-            compute_seconds=0.010, noise=NoNoise(), cache=cache,
+            compute_seconds=0.010, noise=NoNoise(), cache=cache_mode,
             iterations=3 if quick else 7, **overrides)
-        out[cache] = sweep_ptp(base, sizes, counts)
+        out[cache_mode] = sweep_ptp(base, sizes, counts,
+                                    jobs=jobs, cache=cache)
     return out
 
 
 def fig5_perceived_bandwidth(quick: bool = True,
                              sizes: Optional[Sequence[int]] = None,
                              counts: Optional[Sequence[int]] = None,
+                             jobs: int = 1, cache=None,
                              **overrides
                              ) -> Dict[Tuple[float, float], SweepResult]:
     """Figure 5: perceived bandwidth under uniform noise, hot cache.
@@ -78,7 +84,8 @@ def fig5_perceived_bandwidth(quick: bool = True,
             message_bytes=sizes[0], partitions=1, compute_seconds=comp,
             noise=noise, cache=HOT,
             iterations=3 if quick else 7, **overrides)
-        out[(pct, comp)] = sweep_ptp(base, sizes, counts)
+        out[(pct, comp)] = sweep_ptp(base, sizes, counts,
+                                     jobs=jobs, cache=cache)
     return out
 
 
@@ -86,6 +93,7 @@ def fig6_availability(quick: bool = True,
                       sizes: Optional[Sequence[int]] = None,
                       counts: Optional[Sequence[int]] = None,
                       noise_percent: float = 4.0,
+                      jobs: int = 1, cache=None,
                       **overrides) -> Dict[float, SweepResult]:
     """Figure 6: application availability, single-thread delay model,
     4% noise, hot cache; panels keyed by compute seconds (10 ms, 100 ms)."""
@@ -97,7 +105,8 @@ def fig6_availability(quick: bool = True,
             message_bytes=sizes[0], partitions=2, compute_seconds=comp,
             noise=SingleThreadNoise(noise_percent), cache=HOT,
             iterations=3 if quick else 9, **overrides)
-        out[comp] = sweep_ptp(base, sizes, counts)
+        out[comp] = sweep_ptp(base, sizes, counts,
+                              jobs=jobs, cache=cache)
     return out
 
 
@@ -105,6 +114,7 @@ def fig7_noise_models(quick: bool = True,
                       sizes: Optional[Sequence[int]] = None,
                       partitions: int = 16,
                       noise_percent: float = 4.0,
+                      jobs: int = 1, cache=None,
                       **overrides) -> Dict[float, Dict[str, SweepResult]]:
     """Figure 7: availability per noise model at 16 partitions, 4% noise.
 
@@ -125,7 +135,8 @@ def fig7_noise_models(quick: bool = True,
                 message_bytes=sizes[0], partitions=partitions,
                 compute_seconds=comp, noise=noise, cache=HOT,
                 iterations=3 if quick else 9, **overrides)
-            panel[name] = sweep_ptp(base, sizes, [partitions])
+            panel[name] = sweep_ptp(base, sizes, [partitions],
+                                    jobs=jobs, cache=cache)
         out[comp] = panel
     return out
 
@@ -134,6 +145,7 @@ def fig8_early_bird(quick: bool = True,
                     sizes: Optional[Sequence[int]] = None,
                     counts: Optional[Sequence[int]] = None,
                     noise_percent: float = 4.0,
+                    jobs: int = 1, cache=None,
                     **overrides) -> Dict[float, SweepResult]:
     """Figure 8: % early-bird communication under uniform noise; panels
     keyed by compute seconds (10 ms, 100 ms).
@@ -149,5 +161,6 @@ def fig8_early_bird(quick: bool = True,
             message_bytes=sizes[0], partitions=2, compute_seconds=comp,
             noise=UniformNoise(noise_percent), cache=HOT,
             iterations=3 if quick else 9, **overrides)
-        out[comp] = sweep_ptp(base, sizes, counts)
+        out[comp] = sweep_ptp(base, sizes, counts,
+                              jobs=jobs, cache=cache)
     return out

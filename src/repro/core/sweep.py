@@ -5,6 +5,10 @@ message sizes × partition counts (× anything else via config overrides) and
 organizes the results for the figure-shaped reports: one *series* per
 partition count, message size on the x-axis — the layout of the paper's
 Figures 4–8.
+
+Execution is delegated to :mod:`repro.core.parallel`: pass ``jobs`` to fan
+cells out over worker processes and/or ``cache`` to reuse previously
+computed cells — both produce results bit-identical to a plain serial run.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import ConfigurationError
 from ..metrics import SampleSummary
 from .config import PtpBenchmarkConfig
-from .runner import PtpResult, run_ptp_benchmark
+from .runner import PtpResult
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_ptp",
            "METRIC_NAMES"]
@@ -35,9 +39,46 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All cells of one sweep, queryable as figure-shaped series."""
+    """All cells of one sweep, queryable as figure-shaped series.
+
+    Cell lookups go through a ``(message_bytes, partitions)`` index that is
+    maintained incrementally, so :meth:`point` is O(1) and :meth:`series`
+    walks cells once in sorted order instead of re-sorting per call.
+    """
 
     points: List[SweepPoint] = field(default_factory=list)
+    #: How the cells were produced (jobs, cache hits); None for sweeps
+    #: assembled by hand.  See :class:`repro.core.parallel.SweepStats`.
+    stats: Optional[object] = field(default=None, compare=False)
+    _index: Dict[Tuple[int, int], SweepPoint] = field(
+        default_factory=dict, repr=False, compare=False)
+    _sorted_keys: Optional[List[Tuple[int, int]]] = field(
+        default=None, repr=False, compare=False)
+
+    def add(self, point: SweepPoint) -> None:
+        """Append one cell, keeping the lookup index current."""
+        self.points.append(point)
+        key = (point.config.message_bytes, point.config.partitions)
+        self._index[key] = point
+        self._sorted_keys = None
+
+    def _sync_index(self) -> Dict[Tuple[int, int], SweepPoint]:
+        # ``points`` is a public list, so tolerate direct appends: rebuild
+        # whenever the index has fallen behind.
+        if len(self._index) != len(self.points):
+            self._index = {
+                (p.config.message_bytes, p.config.partitions): p
+                for p in self.points
+            }
+            self._sorted_keys = None
+        return self._index
+
+    def _iter_sorted(self) -> List[Tuple[int, int]]:
+        """Cell keys sorted by (partitions, message_bytes), cached."""
+        index = self._sync_index()
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(index, key=lambda k: (k[1], k[0]))
+        return self._sorted_keys
 
     @property
     def message_sizes(self) -> List[int]:
@@ -50,13 +91,12 @@ class SweepResult:
         return sorted({p.config.partitions for p in self.points})
 
     def point(self, message_bytes: int, partitions: int) -> SweepPoint:
-        """The cell at (message size, partition count)."""
-        for p in self.points:
-            if (p.config.message_bytes == message_bytes
-                    and p.config.partitions == partitions):
-                return p
-        raise ConfigurationError(
-            f"no sweep point for m={message_bytes}, n={partitions}")
+        """The cell at (message size, partition count) — O(1)."""
+        found = self._sync_index().get((message_bytes, partitions))
+        if found is None:
+            raise ConfigurationError(
+                f"no sweep point for m={message_bytes}, n={partitions}")
+        return found
 
     def series(self, metric: str) -> Dict[int, List[Tuple[int, float]]]:
         """Figure-shaped data: ``{partitions: [(message_bytes, mean), ...]}``.
@@ -66,13 +106,11 @@ class SweepResult:
         if metric not in METRIC_NAMES:
             raise ConfigurationError(
                 f"unknown metric {metric!r}; choose from {METRIC_NAMES}")
+        index = self._sync_index()
         out: Dict[int, List[Tuple[int, float]]] = {}
-        for p in sorted(self.points,
-                        key=lambda p: (p.config.partitions,
-                                       p.config.message_bytes)):
-            summary: SampleSummary = getattr(p.result, metric)
-            out.setdefault(p.config.partitions, []).append(
-                (p.config.message_bytes, summary.mean))
+        for m, n in self._iter_sorted():
+            summary: SampleSummary = getattr(index[(m, n)].result, metric)
+            out.setdefault(n, []).append((m, summary.mean))
         return out
 
     def value(self, metric: str, message_bytes: int,
@@ -86,23 +124,31 @@ def sweep_ptp(base: PtpBenchmarkConfig,
               message_sizes: Sequence[int],
               partition_counts: Sequence[int],
               progress: Optional[Callable[[PtpBenchmarkConfig], None]] = None,
+              jobs: int = 1,
+              cache=None,
+              derive_seeds: bool = True,
               ) -> SweepResult:
     """Run the grid ``message_sizes`` × ``partition_counts`` from ``base``.
 
     Cells where the message is smaller than the partition count are
     skipped (they cannot be split), matching how the paper's figures leave
     those cells empty.
+
+    ``jobs`` fans independent cells out over that many worker processes
+    (``None`` = all cores); ``cache`` (a
+    :class:`~repro.core.parallel.ResultCache` or a directory path) reuses
+    previously computed cells.  Neither changes any result bit: see
+    :mod:`repro.core.parallel`.  With ``derive_seeds`` (default) each
+    cell's noise stream is seeded from the base seed and the cell
+    coordinates, decorrelating cells; pass ``False`` to reuse ``base.seed``
+    everywhere.
     """
-    if not message_sizes or not partition_counts:
-        raise ConfigurationError("sweep needs at least one size and count")
-    result = SweepResult()
-    for n in partition_counts:
-        for m in message_sizes:
-            if m < n:
-                continue
-            config = base.with_overrides(message_bytes=m, partitions=n)
-            if progress is not None:
-                progress(config)
-            result.points.append(
-                SweepPoint(config=config, result=run_ptp_benchmark(config)))
-    return result
+    from .parallel import plan_cells, run_cells
+    cells = plan_cells(base, message_sizes, partition_counts,
+                       derive_seeds=derive_seeds)
+    results, stats = run_cells(cells, jobs=jobs, cache=cache,
+                               progress=progress)
+    sweep = SweepResult(stats=stats)
+    for config, result in zip(cells, results):
+        sweep.add(SweepPoint(config=config, result=result))
+    return sweep

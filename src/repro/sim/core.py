@@ -29,10 +29,10 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import ConfigurationError, DeadlockError, SimulationError
 
 __all__ = [
     "Event",
@@ -46,6 +46,13 @@ __all__ = [
 
 #: Sentinel marking an event whose value has not been set yet.
 _PENDING = object()
+
+#: Sentinel for an event nothing has waited on yet.  Most :class:`Timeout`
+#: events (compute delays, NIC gaps) trigger and get processed without ever
+#: acquiring a waiter besides the process that created them — keeping this
+#: sentinel instead of an empty list avoids one list allocation per event
+#: on the kernel's hottest path.
+_NO_WAITERS = object()
 
 
 class Interrupt(Exception):
@@ -70,16 +77,31 @@ class Event:
     Events are single-shot: triggering twice raises :class:`SimulationError`.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+    __slots__ = ("sim", "_callbacks", "_value", "_ok", "_scheduled",
+                 "_defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        #: Callables ``cb(event)`` invoked when the event is processed.
-        self.callbacks: Optional[list] = []
+        #: Waiter list states: :data:`_NO_WAITERS` (nothing registered yet),
+        #: a list (registered callbacks), or ``None`` (processed).
+        self._callbacks: Any = _NO_WAITERS
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._defused = False
+
+    @property
+    def callbacks(self) -> Optional[list]:
+        """Callables ``cb(event)`` invoked when the event is processed.
+
+        ``None`` once the event has been processed.  The list is
+        materialized lazily on first access so events nothing ever waits on
+        (the common fate of a :class:`Timeout`) never allocate one.
+        """
+        cbs = self._callbacks
+        if cbs is _NO_WAITERS:
+            cbs = self._callbacks = []
+        return cbs
 
     # -- state ----------------------------------------------------------
     @property
@@ -90,7 +112,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the kernel has run this event's callbacks."""
-        return self.callbacks is None
+        return self._callbacks is None
 
     @property
     def ok(self) -> bool:
@@ -189,7 +211,7 @@ class Process(Event):
         #: The event this process is currently waiting on (None if running).
         self._target: Optional[Event] = None
         init = _Initialize(sim)
-        init.callbacks.append(self._resume)
+        init._callbacks = [self._resume]
 
     @property
     def is_alive(self) -> bool:
@@ -205,14 +227,14 @@ class Process(Event):
                 f"cannot interrupt process {self.name} from within itself")
         # Detach from the event we were waiting on, then resume immediately
         # with the interrupt.
-        target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        cbs = self._target._callbacks
+        if isinstance(cbs, list) and self._resume in cbs:
+            cbs.remove(self._resume)
         hit = Event(self.sim)
         hit._ok = False
         hit._value = Interrupt(cause)
         hit._defused = True
-        hit.callbacks = [self._resume]
+        hit._callbacks = [self._resume]
         self.sim._schedule(hit)
 
     # -- kernel plumbing --------------------------------------------------
@@ -255,12 +277,16 @@ class Process(Event):
                     break
                 continue
 
-            if next_ev.callbacks is None:
+            cbs = next_ev._callbacks
+            if cbs is None:
                 # Already processed: loop synchronously with its value.
                 event = next_ev
                 continue
 
-            next_ev.callbacks.append(self._resume)
+            if cbs is _NO_WAITERS:
+                next_ev._callbacks = [self._resume]
+            else:
+                cbs.append(self._resume)
             self._target = next_ev
             break
         self.sim._active_proc = None
@@ -282,10 +308,13 @@ class Condition(Event):
             self.succeed(self._collect())
             return
         for ev in self.events:
-            if ev.callbacks is None:
+            cbs = ev._callbacks
+            if cbs is None:
                 self._check(ev)
+            elif cbs is _NO_WAITERS:
+                ev._callbacks = [self._check]
             else:
-                ev.callbacks.append(self._check)
+                cbs.append(self._check)
 
     def _collect(self) -> dict:
         return {
@@ -395,18 +424,33 @@ class Simulator:
 
         With ``detect_deadlock=True`` a drained queue before ``until`` raises
         :class:`~repro.errors.DeadlockError` — useful when simulating MPI
-        programs that must terminate on their own.
+        programs that must terminate on their own.  Deadlock detection is
+        defined *relative to the horizon*: it needs an explicit ``until``,
+        so passing ``detect_deadlock=True`` without one raises
+        :class:`~repro.errors.ConfigurationError` (it used to be silently
+        ignored).  To watch for stuck processes without a time horizon, use
+        :meth:`run_until_complete` on the process of interest instead.
         """
+        if detect_deadlock and until is None:
+            raise ConfigurationError(
+                "detect_deadlock=True needs an explicit until= horizon: a "
+                "drained queue is only a deadlock if it happens before a "
+                "time the simulation was expected to reach")
         if until is not None and until < self._now:
             raise SimulationError(
                 f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
+        queue = self._queue
+        step = self._step
+        if until is None:
+            while queue:
+                step()
+            return
+        while queue:
+            if queue[0][0] > until:
                 self._now = until
                 return
-            self._step()
-        if detect_deadlock and until is not None and self._now < until:
+            step()
+        if detect_deadlock and self._now < until:
             raise DeadlockError(
                 f"event queue drained at t={self._now} before until={until}")
 
@@ -435,21 +479,23 @@ class Simulator:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def _step(self) -> None:
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         if when < self._now:  # pragma: no cover - internal invariant
             raise SimulationError("time ran backwards")
         self._now = when
         self.events_processed += 1
         if self._trace is not None:
             self._trace(when, event)
-        callbacks, event.callbacks = event.callbacks, None
-        for cb in callbacks:
-            cb(event)
-        if not event._ok and not event._defused and not callbacks:
+        callbacks = event._callbacks
+        event._callbacks = None
+        if callbacks is not _NO_WAITERS and callbacks:
+            for cb in callbacks:
+                cb(event)
+        elif not event._ok and not event._defused:
             raise event._value
 
     def _step_until_processed(self, event: Event) -> None:

@@ -1,0 +1,199 @@
+"""The parallel sweep engine and the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.core import (METRIC_NAMES, PtpBenchmarkConfig, ResultCache,
+                        SweepStats, config_fingerprint, derive_cell_seed,
+                        plan_cells, run_cells, run_ptp_benchmark, sweep_ptp)
+from repro.core.parallel import CACHE_SCHEMA_VERSION
+from repro.core.runner import EXECUTIONS
+from repro.errors import ConfigurationError
+from repro.noise import GaussianNoise, UniformNoise
+
+
+def _base(**overrides):
+    defaults = dict(message_bytes=64, partitions=1,
+                    compute_seconds=1e-4, iterations=2)
+    defaults.update(overrides)
+    return PtpBenchmarkConfig(**defaults)
+
+
+SIZES = [1024, 65536]
+COUNTS = [1, 4]
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = _base(noise=UniformNoise(4.0))
+        b = _base(noise=UniformNoise(4.0))
+        assert a is not b
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_sensitive_to_every_behavioural_field(self):
+        ref = config_fingerprint(_base())
+        assert config_fingerprint(_base(message_bytes=128)) != ref
+        assert config_fingerprint(_base(partitions=2)) != ref
+        assert config_fingerprint(_base(compute_seconds=2e-4)) != ref
+        assert config_fingerprint(_base(seed=99)) != ref
+        assert config_fingerprint(_base(noise=UniformNoise(4.0))) != ref
+
+    def test_noise_model_parameters_matter(self):
+        a = config_fingerprint(_base(noise=UniformNoise(2.0)))
+        b = config_fingerprint(_base(noise=UniformNoise(4.0)))
+        c = config_fingerprint(_base(noise=GaussianNoise(4.0)))
+        assert len({a, b, c}) == 3
+
+    def test_is_hex_sha256(self):
+        fp = config_fingerprint(_base())
+        assert len(fp) == 64
+        int(fp, 16)
+
+
+class TestDerivedSeeds:
+    def test_deterministic(self):
+        assert derive_cell_seed(7, 1024, 4) == derive_cell_seed(7, 1024, 4)
+
+    def test_decorrelates_cells_and_base_seeds(self):
+        seeds = {derive_cell_seed(7, m, n)
+                 for m in SIZES for n in COUNTS}
+        seeds.add(derive_cell_seed(8, 1024, 4))
+        assert len(seeds) == 5
+
+    def test_plan_cells_uses_derived_seeds(self):
+        base = _base(seed=7)
+        cells = plan_cells(base, SIZES, COUNTS)
+        for cell in cells:
+            assert cell.seed == derive_cell_seed(
+                7, cell.message_bytes, cell.partitions)
+
+    def test_plan_cells_can_keep_base_seed(self):
+        cells = plan_cells(_base(seed=7), SIZES, COUNTS,
+                           derive_seeds=False)
+        assert {c.seed for c in cells} == {7}
+
+    def test_plan_cells_skips_unsplittable_and_rejects_empty(self):
+        cells = plan_cells(_base(), [2], [1, 4])
+        assert [(c.message_bytes, c.partitions) for c in cells] == [(2, 1)]
+        with pytest.raises(ConfigurationError):
+            plan_cells(_base(), [], COUNTS)
+
+
+# ---------------------------------------------------------------------------
+# Parallel vs serial equivalence
+# ---------------------------------------------------------------------------
+
+class TestParallelEquivalence:
+    def test_jobs4_bit_identical_to_jobs1(self):
+        base = _base(noise=UniformNoise(4.0), seed=11)
+        serial = sweep_ptp(base, SIZES, COUNTS, jobs=1)
+        parallel = sweep_ptp(base, SIZES, COUNTS, jobs=4)
+        for metric in METRIC_NAMES:
+            assert serial.series(metric) == parallel.series(metric)
+
+    def test_parallel_samples_match_exactly(self):
+        base = _base(noise=UniformNoise(4.0), seed=11)
+        serial = sweep_ptp(base, SIZES, COUNTS, jobs=1)
+        parallel = sweep_ptp(base, SIZES, COUNTS, jobs=2)
+        for m in SIZES:
+            for n in COUNTS:
+                s = serial.point(m, n).result.samples
+                p = parallel.point(m, n).result.samples
+                assert [x.timeline for x in s] == [x.timeline for x in p]
+                assert [x.metrics for x in s] == [x.metrics for x in p]
+
+    def test_stats_attached(self):
+        sweep = sweep_ptp(_base(), SIZES, COUNTS, jobs=2)
+        assert isinstance(sweep.stats, SweepStats)
+        assert sweep.stats.jobs == 2
+        assert sweep.stats.total_cells == 4
+        assert sweep.stats.executed == 4
+        assert sweep.stats.cache_hits == 0
+        assert "4 cells" in sweep.stats.describe()
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cells(plan_cells(_base(), SIZES, COUNTS), jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# The result cache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_hit_roundtrips_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(noise=UniformNoise(4.0)), [1024], [4])[0]
+        fresh = run_ptp_benchmark(config)
+        cache.put(config, fresh)
+        loaded = cache.get(config)
+        assert loaded is not None
+        assert [s.timeline for s in loaded.samples] == \
+            [s.timeline for s in fresh.samples]
+        assert [s.metrics for s in loaded.samples] == \
+            [s.metrics for s in fresh.samples]
+
+    def test_cached_rerun_executes_zero_simulations(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        base = _base(seed=3)
+        first = sweep_ptp(base, SIZES, COUNTS, cache=cache)
+        assert first.stats.executed == 4
+        assert first.stats.cache_hits == 0
+        assert len(cache) == 4
+
+        EXECUTIONS.reset()
+        second = sweep_ptp(base, SIZES, COUNTS, cache=cache)
+        assert EXECUTIONS.value == 0  # zero simulations ran
+        assert second.stats.executed == 0
+        assert second.stats.cache_hits == 4
+        for metric in METRIC_NAMES:
+            assert second.series(metric) == first.series(metric)
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sweep_ptp(_base(seed=3), SIZES, COUNTS, cache=cache)
+        EXECUTIONS.reset()
+        sweep_ptp(_base(seed=3, compute_seconds=2e-4), SIZES, COUNTS,
+                  cache=cache)
+        assert EXECUTIONS.value == 4  # every cell re-simulated
+        assert len(cache) == 8
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        cache.put(config, run_ptp_benchmark(config))
+        path = cache._path(config_fingerprint(config))
+        data = json.loads(path.read_text())
+        data["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(data))
+        assert cache.get(config) is None
+        assert cache.misses == 1
+
+    def test_clear_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert len(cache) == 0
+        sweep_ptp(_base(), [1024], [1, 4], cache=cache)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_path_argument_coerced(self, tmp_path):
+        cells = plan_cells(_base(), [1024], [1])
+        run_cells(cells, jobs=1, cache=str(tmp_path / "cache"))
+        _, stats = run_cells(cells, jobs=1, cache=str(tmp_path / "cache"))
+        assert stats.cache_hits == 1
+
+    def test_parallel_run_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        base = _base(seed=5)
+        sweep_ptp(base, SIZES, COUNTS, jobs=2, cache=cache)
+        assert len(cache) == 4
+        EXECUTIONS.reset()
+        again = sweep_ptp(base, SIZES, COUNTS, jobs=2, cache=cache)
+        assert EXECUTIONS.value == 0
+        assert again.stats.cache_hits == 4

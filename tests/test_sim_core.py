@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import (ConfigurationError, DeadlockError,
+                          SimulationError)
 from repro.sim import (AllOf, AnyOf, Event, Interrupt, Process,
                        Timeout)
 
@@ -267,6 +268,13 @@ class TestRun:
         sim.process(stuck())
         with pytest.raises(DeadlockError):
             sim.run(until=100.0, detect_deadlock=True)
+
+    def test_deadlock_detection_requires_until(self, sim):
+        # With until=None an empty queue is the normal way runs end, so
+        # "queue drained" cannot be distinguished from a deadlock; the
+        # kernel rejects the combination instead of silently ignoring it.
+        with pytest.raises(ConfigurationError):
+            sim.run(detect_deadlock=True)
 
     def test_run_until_complete_returns_value(self, sim):
         def proc():
