@@ -11,6 +11,8 @@ keep the two in sync when adding kernels here.
 
 from repro.core import (PtpBenchmarkConfig, PtpResult, SweepPoint,
                         SweepResult, run_ptp_benchmark)
+from repro.obs import CounterSink, EventBus
+from repro.obs.kinds import PART_PREADY
 from repro.sim import Simulator, Store
 
 
@@ -105,6 +107,40 @@ def test_sweep_point_lookup(benchmark):
         return hits
 
     assert benchmark(run) > 0
+
+
+def test_obs_emission_disabled(benchmark):
+    """Instrumentation with no subscriber: the near-zero-cost fast path.
+
+    Every runtime hot path (pready, matching, NIC) emits unconditionally;
+    the bus must make an unsubscribed emit one list index plus a falsy
+    test.  ``scripts/bench_guard.py`` holds this kernel to a 5% budget
+    over baseline (tighter than the 2x default).
+    """
+    bus = EventBus()
+
+    def run():
+        emit = bus.emit
+        for _ in range(100_000):
+            emit(PART_PREADY, 1.0, 0, 0, 0, None)
+        return bus.subscribed(PART_PREADY)
+
+    assert benchmark(run) is False
+
+
+def test_obs_emission_counted(benchmark):
+    """Emission with one cheap aggregating subscriber (CounterSink)."""
+    bus = EventBus()
+    counters = bus.attach(CounterSink(), ("part.pready",))
+
+    def run():
+        emit = bus.emit
+        for _ in range(10_000):
+            emit(PART_PREADY, 1.0, 0, 0, 0, None)
+        return True
+
+    assert benchmark(run)
+    assert counters.count("part.pready") >= 10_000
 
 
 def test_end_to_end_trial_cost(benchmark):

@@ -1,14 +1,14 @@
 """The dynamic half of :mod:`repro.analysis`: a validating runtime layer.
 
-:func:`enable_checking` attaches a :class:`Checker` to a
-:class:`~repro.mpi.cluster.Cluster`.  From then on every partitioned
-request notifies the checker of its lifecycle events (via the hook in
-:mod:`repro.partitioned.requests`), every simulated resource reports its
-holders and waiters (via ``Simulator.monitor``), and the checker shadows
-the MPI 4.0 partitioned state machine, tracks per-partition
-happens-before, and — at :meth:`Checker.finalize` — sweeps for leaked
-requests, unmatched ``psend_init``/``precv_init`` halves, and wait-for
-cycles over resources.
+:func:`enable_checking` subscribes a :class:`Checker` — an ordinary
+:class:`repro.obs.Sink` — to the cluster's instrumentation bus for every
+``part.*`` event.  From then on the partitioned lifecycle events the
+runtime already emits (see :mod:`repro.obs.kinds`) drive the checker's
+shadow of the MPI 4.0 partitioned state machine, every simulated resource
+reports its holders and waiters (via ``Simulator.monitor``), and — at
+:meth:`Checker.finalize` — the checker sweeps for leaked requests,
+unmatched ``psend_init``/``precv_init`` halves, and wait-for cycles over
+resources.
 
 Verdicts are :class:`~repro.analysis.findings.Finding` objects, the same
 currency the static linter uses; they also surface in the per-rank
@@ -17,7 +17,8 @@ currency the static linter uses; they also surface in the per-rank
 The checker *observes*: it never raises into the simulated program and
 never schedules events, so enabling it cannot change a schedule.  The
 runtime's own exceptions (e.g. ``RequestStateError`` on a double
-``pready``) still fire — the checker records the finding just before.
+``pready``) still fire — lifecycle events are emitted at call entry,
+before validation, so the checker records the finding just before.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..errors import ConfigurationError, ReproError
+from ..obs import EventRecord, Sink
 from .deadlock import ResourceMonitor
 from .findings import Finding, format_findings
 from .races import PartitionTracker
@@ -38,14 +40,19 @@ __all__ = ["Checker", "CheckReport", "enable_checking", "run_checked",
            "check_file", "load_program"]
 
 
-class Checker:
+class Checker(Sink):
     """Dynamic-correctness observer for one cluster run.
 
-    Create it through :func:`enable_checking`; the hooks below are invoked
-    by the runtime.  Findings accumulate in :attr:`findings` in event
-    order.  Individual rules can be switched off with ``disabled`` —
-    used by the fixture tests to prove each rule is load-bearing.
+    An ordinary :class:`repro.obs.Sink` subscribed to ``part.*`` by
+    :func:`enable_checking`; :meth:`accept` folds each lifecycle event
+    into the shadow state machine.  Findings accumulate in
+    :attr:`findings` in event order.  Individual rules can be switched
+    off with ``disabled`` — used by the fixture tests to prove each rule
+    is load-bearing.
     """
+
+    #: The subscription this sink needs.
+    PATTERNS = ("part.*",)
 
     def __init__(self, cluster, disabled: Iterable[str] = ()):
         self.cluster = cluster
@@ -54,6 +61,31 @@ class Checker:
         self.tracker = PartitionTracker()
         self.monitor = ResourceMonitor()
         self._finalized = False
+
+    # -- sink protocol ---------------------------------------------------
+    def accept(self, record: EventRecord) -> None:
+        """Fold one ``part.*`` lifecycle event into the shadow state."""
+        name = record.kind.name
+        req = record.get("req")
+        if name == "part.init":
+            self.on_init(req, record.get("side") == "send")
+        elif name == "part.start":
+            self.on_start(req)
+        elif name == "part.wait":
+            self.on_wait(req)
+        elif name == "part.pready":
+            self.on_pready(req, record.get("partition"))
+        elif name == "part.parrived":
+            self.on_parrived(req, record.get("partition"))
+        elif name == "part.arrived":
+            self.on_partition_arrived(req, record.get("partition"),
+                                      record.time)
+        elif name == "part.buffer_write":
+            self.on_buffer_write(req, record.get("partition"))
+        elif name == "part.buffer_read":
+            self.on_buffer_read(req, record.get("partition"))
+        # part.send_start / part.send_injected / epoch-complete markers
+        # carry no request state the shadow machine needs.
 
     # -- reporting -------------------------------------------------------
     @property
@@ -230,16 +262,15 @@ class CheckReport:
 def enable_checking(cluster, disabled: Iterable[str] = ()) -> Checker:
     """Attach a dynamic :class:`Checker` to ``cluster``; returns it.
 
-    Installs the checker on the cluster, on every rank's
-    :class:`~repro.mpi.process.MPIProcess`, and as the simulator's
-    resource monitor.  Call before :meth:`~repro.mpi.cluster.Cluster.run`;
-    call :meth:`Checker.finalize` after the run (or use
-    :func:`run_checked`, which does both).
+    Subscribes the checker to the cluster's instrumentation bus for
+    ``part.*`` events and installs its resource monitor on the simulator.
+    Call before :meth:`~repro.mpi.cluster.Cluster.run`; call
+    :meth:`Checker.finalize` after the run (or use :func:`run_checked`,
+    which does both).
     """
     checker = Checker(cluster, disabled=disabled)
     cluster.checker = checker
-    for proc in cluster.procs:
-        proc.checker = checker
+    cluster.obs.attach(checker, Checker.PATTERNS)
     cluster.sim.monitor = checker.monitor
     return checker
 

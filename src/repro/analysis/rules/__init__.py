@@ -123,6 +123,7 @@ def known_rule_ids() -> List[str]:
 
 # Importing the rule modules populates the registry.
 from . import determinism as _determinism  # noqa: E402  (registration import)
+from . import instrumentation as _instrumentation  # noqa: E402
 from . import simapi as _simapi  # noqa: E402  (registration import)
 
-_ = (_determinism, _simapi)
+_ = (_determinism, _instrumentation, _simapi)

@@ -1,0 +1,100 @@
+"""Static rule for bypassing the instrumentation layer (``SIM107``).
+
+Every recorder in the suite is built on :mod:`repro.obs`; events are
+emitted once, typed, and consumed by sinks.  This rule catches code that
+resurrects the pre-``obs`` idioms: the deleted ``TraceRecorder`` API
+(``something.trace.emit(...)``) and ad-hoc per-element timestamp-list
+construction (``stamps[p] = ctx.sim.now`` or ``stamps.append(sim.now)``)
+— the runner's old post-hoc surgery that the streaming
+:class:`~repro.obs.TimelineBuilder` replaced.  Constant-keyed phase
+markers (``record["t_start"] = ctx.sim.now``) are not flagged; building
+a per-partition timestamp table by variable index is.
+
+Files inside ``repro/obs`` itself are exempt — that package *is* the
+instrumentation layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from . import Rule, register
+
+__all__ = ["AdhocInstrumentationRule"]
+
+
+def _is_now_read(node: ast.AST) -> bool:
+    """True for attribute reads ending in ``.now`` (``ctx.sim.now``)."""
+    return isinstance(node, ast.Attribute) and node.attr == "now"
+
+
+def _in_obs_layer(filename: str) -> bool:
+    normalized = filename.replace("\\", "/")
+    return "repro/obs/" in normalized or normalized.endswith("repro/obs")
+
+
+@register
+class AdhocInstrumentationRule(Rule):
+    """SIM107: event recording that bypasses ``repro.obs``."""
+
+    id = "SIM107"
+    name = "adhoc-instrumentation"
+    summary = ("records events outside repro.obs — TraceRecorder-style "
+               ".trace.emit() calls or per-element timestamp-list "
+               "construction from .now instead of emitting a typed event")
+
+    def check(self, tree: ast.AST, filename: str) -> Iterable[Finding]:
+        """Flag legacy-recorder calls and ad-hoc timestamp tables."""
+        if _in_obs_layer(filename):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, filename)
+            elif isinstance(node, ast.Name) and node.id == "TraceRecorder":
+                yield self.finding(
+                    filename, node,
+                    "TraceRecorder was replaced by repro.obs.EventBus; "
+                    "emit a registered event kind instead")
+            elif isinstance(node, ast.Assign):
+                yield from self._check_assign(node, filename)
+
+    def _check_call(self, node: ast.Call,
+                    filename: str) -> Iterable[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # something.trace.emit(...) — the deleted TraceRecorder path.
+        if func.attr == "emit" and isinstance(func.value, ast.Attribute) \
+                and func.value.attr == "trace":
+            yield self.finding(
+                filename, node,
+                f"{ast.unparse(func)}() uses the removed free-form trace "
+                f"recorder; emit a typed repro.obs event kind on the "
+                f"cluster's bus instead")
+        # stamps.append(ctx.sim.now) — growing a timestamp list by hand.
+        elif func.attr == "append" and node.args \
+                and _is_now_read(node.args[0]):
+            yield self.finding(
+                filename, node,
+                f"appending {ast.unparse(node.args[0])} builds a "
+                f"timestamp list outside repro.obs; emit an event and "
+                f"let a sink collect the times")
+
+    def _check_assign(self, node: ast.Assign,
+                      filename: str) -> Iterable[Finding]:
+        # stamps[p] = ctx.sim.now — a per-element timestamp table keyed
+        # by a runtime index.  Constant keys (record["t_start"]) are
+        # phase markers, not tables, and stay legal.
+        if not _is_now_read(node.value):
+            return
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and \
+                    not isinstance(target.slice, ast.Constant):
+                yield self.finding(
+                    filename, node,
+                    f"{ast.unparse(target)} = "
+                    f"{ast.unparse(node.value)} assembles a timestamp "
+                    f"table by index outside repro.obs; emit an event "
+                    f"per element and use a TimelineBuilder-style sink")

@@ -13,11 +13,16 @@ Usage::
         --noise single --noise-percent 4
     python -m repro lint src/repro benchmarks examples
     python -m repro check path/to/program.py
+    python -m repro trace export --message-bytes 1048576 --partitions 8 \\
+        --format chrome --kinds 'part.*,bench.*' -o trace.json
+    python -m repro report --message-bytes 1048576 --partitions 8
 
 Tables match the ``benchmarks/`` harness output; the CLI exists so the
 suite is usable without pytest, the way the paper's artifact is driven
 from a shell.  ``lint`` and ``check`` expose the
 :mod:`repro.analysis` correctness analyzer (exit code 1 on findings).
+``trace export`` and ``report`` observe one instrumented trial through
+:mod:`repro.obs` sinks (exit code 2 on unknown ``--kinds`` patterns).
 The point-to-point figures and ``sweep`` run on the parallel engine
 (:mod:`repro.core.parallel`): ``--jobs`` fans grid cells out over worker
 processes and ``--cache-dir`` reuses every already-computed cell, with
@@ -219,9 +224,10 @@ def _cmd_list(args) -> str:
                        title="available figure reproductions")
 
 
-def _cmd_metrics(args) -> str:
+def _benchmark_config(args) -> PtpBenchmarkConfig:
+    """One-cell benchmark config from the shared measurement flags."""
     noise = noise_model_from_name(args.noise, args.noise_percent)
-    config = PtpBenchmarkConfig(
+    return PtpBenchmarkConfig(
         message_bytes=args.message_bytes,
         partitions=args.partitions,
         compute_seconds=args.compute_ms / 1e3,
@@ -231,7 +237,10 @@ def _cmd_metrics(args) -> str:
         iterations=args.iterations,
         seed=args.seed,
     )
-    result = run_ptp_benchmark(config)
+
+
+def _cmd_metrics(args) -> str:
+    result = run_ptp_benchmark(_benchmark_config(args))
     rows = [
         ["overhead (eq.1)", f"{result.overhead.mean:.2f}x"],
         ["perceived bandwidth (eq.2)",
@@ -242,7 +251,7 @@ def _cmd_metrics(args) -> str:
          f"{result.early_bird_fraction.mean * 100:.1f}%"],
     ]
     return ascii_table(["metric", "pruned mean"], rows,
-                       title=config.label())
+                       title=result.config.label())
 
 
 def _cmd_advisor(args) -> str:
@@ -342,6 +351,84 @@ def _cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _resolve_kinds(kinds_arg: str):
+    """Parse a ``--kinds`` value into patterns; raises on unknown kinds."""
+    from .obs import SCHEMA
+    patterns = tuple(p.strip() for p in kinds_arg.split(",") if p.strip())
+    if not patterns:
+        patterns = ("*",)
+    SCHEMA.resolve(patterns)
+    return patterns
+
+
+def _cmd_trace(args) -> int:
+    from .core import run_ptp_trial
+    from .errors import ConfigurationError
+    from .obs import MemorySink, write_chrome_trace, write_jsonl
+    try:
+        patterns = _resolve_kinds(args.kinds)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    mem = MemorySink()
+    result, _ = run_ptp_trial(_benchmark_config(args),
+                              sinks=[(mem, patterns)])
+    writer = write_chrome_trace if args.format == "chrome" else write_jsonl
+    if args.output:
+        with open(args.output, "w") as stream:
+            n = writer(mem, stream)
+        print(f"wrote {n} {args.format} event(s) to {args.output} "
+              f"(stream digest {result.event_digest[:12]}…)")
+    else:
+        writer(mem, sys.stdout)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .core import run_ptp_trial
+    from .errors import ConfigurationError
+    from .mpi.diagnostics import cluster_report, collect_diagnostics
+    from .obs import CounterSink, MemorySink, write_chrome_trace
+    try:
+        patterns = _resolve_kinds(args.kinds)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counters = CounterSink()
+    sinks = [(counters, patterns)]
+    mem = None
+    if args.format == "chrome":
+        mem = MemorySink()
+        sinks.append((mem, patterns))
+    result, cluster = run_ptp_trial(_benchmark_config(args), sinks=sinks)
+    if args.format == "chrome":
+        write_chrome_trace(mem, sys.stdout)
+        return 0
+    if args.format == "json":
+        diags = collect_diagnostics(cluster, counters=counters)
+        print(json.dumps({
+            "config": result.config.label(),
+            "event_digest": result.event_digest,
+            "event_counts": [
+                {"kind": kind, "rank": rank, "count": n}
+                for kind, rank, n in counters.rows()
+            ],
+            "ranks": [
+                {"rank": d.rank,
+                 "lock_acquisitions": d.lock_acquisitions,
+                 "nic_messages": d.nic_messages,
+                 "nic_bytes": d.nic_bytes,
+                 "cache_hit_ratio": d.cache_hit_ratio,
+                 "events_observed": d.events_observed}
+                for d in diags
+            ],
+        }, indent=2))
+        return 0
+    print(cluster_report(cluster, counters=counters))
+    print(f"\nevent stream digest: {result.event_digest}")
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .analysis import run_checked
     from .analysis.checker import load_program
@@ -356,6 +443,23 @@ def _cmd_check(args) -> int:
                          disabled=args.disable, **loaded["kwargs"])
     print(report.to_json() if args.format == "json" else report.format())
     return 0 if report.ok else 1
+
+
+def _add_measurement_args(parser: argparse.ArgumentParser,
+                          iterations: int) -> None:
+    """Attach the one-cell measurement flags shared by single-run commands."""
+    parser.add_argument("--message-bytes", type=int, required=True)
+    parser.add_argument("--partitions", type=int, required=True)
+    parser.add_argument("--compute-ms", type=float, default=10.0)
+    parser.add_argument("--noise", default="none",
+                        choices=["none", "single", "uniform", "gaussian",
+                                 "exponential"])
+    parser.add_argument("--noise-percent", type=float, default=4.0)
+    parser.add_argument("--cache", default="hot", choices=["hot", "cold"])
+    parser.add_argument("--impl", default="mpipcl",
+                        choices=["mpipcl", "native"])
+    parser.add_argument("--iterations", type=int, default=iterations)
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -417,18 +521,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     m = sub.add_parser("metrics",
                        help="measure one configuration's four metrics")
-    m.add_argument("--message-bytes", type=int, required=True)
-    m.add_argument("--partitions", type=int, required=True)
-    m.add_argument("--compute-ms", type=float, default=10.0)
-    m.add_argument("--noise", default="none",
-                   choices=["none", "single", "uniform", "gaussian",
-                            "exponential"])
-    m.add_argument("--noise-percent", type=float, default=4.0)
-    m.add_argument("--cache", default="hot", choices=["hot", "cold"])
-    m.add_argument("--impl", default="mpipcl",
-                   choices=["mpipcl", "native"])
-    m.add_argument("--iterations", type=int, default=5)
-    m.add_argument("--seed", type=int, default=0)
+    _add_measurement_args(m, iterations=5)
+
+    tr = sub.add_parser(
+        "trace", help="capture an instrumented run's event stream")
+    tr_sub = tr.add_subparsers(dest="action", required=True)
+    te = tr_sub.add_parser(
+        "export", help="run one configuration and export its events")
+    _add_measurement_args(te, iterations=3)
+    te.add_argument("--format", default="json",
+                    choices=["json", "chrome"],
+                    help="json: one JSON object per line; chrome: Chrome "
+                         "trace-viewer / Perfetto file")
+    te.add_argument("--kinds", default="*", metavar="PATTERNS",
+                    help="comma-separated event-kind patterns, e.g. "
+                         "'part.*,nic.*' (exit 2 on unknown kinds)")
+    te.add_argument("--output", "-o", default=None, metavar="PATH",
+                    help="write to PATH instead of stdout")
+
+    rp = sub.add_parser(
+        "report", help="per-rank diagnostics + event counters for one run")
+    _add_measurement_args(rp, iterations=3)
+    rp.add_argument("--format", default="text",
+                    choices=["text", "json", "chrome"])
+    rp.add_argument("--kinds", default="*", metavar="PATTERNS",
+                    help="comma-separated event-kind patterns to count "
+                         "(exit 2 on unknown kinds)")
 
     a = sub.add_parser("advisor", help="recommend a partition count")
     a.add_argument("--message-bytes", type=int, required=True)
@@ -484,6 +602,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     elif args.command == "check":
         return _cmd_check(args)
+    elif args.command == "trace":
+        return _cmd_trace(args)
+    elif args.command == "report":
+        return _cmd_report(args)
     else:
         print(FIGURES[args.command](args))
     return 0

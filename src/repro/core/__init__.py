@@ -25,7 +25,7 @@ from .persistence import (load_sweep, result_from_dict,
 from .plot import ascii_plot
 from .report import (METRIC_FORMATS, ascii_table, format_bytes,
                      format_seconds, metric_table, series_table)
-from .runner import PtpResult, PtpSample, run_ptp_benchmark
+from .runner import PtpResult, PtpSample, run_ptp_benchmark, run_ptp_trial
 from .suite import (QUICK_MESSAGE_SIZES, QUICK_PARTITION_COUNTS,
                     fig4_overhead, fig5_perceived_bandwidth,
                     fig6_availability, fig7_noise_models, fig8_early_bird)
@@ -65,6 +65,7 @@ __all__ = [
     "PtpResult",
     "PtpSample",
     "run_ptp_benchmark",
+    "run_ptp_trial",
     "QUICK_MESSAGE_SIZES",
     "QUICK_PARTITION_COUNTS",
     "fig4_overhead",

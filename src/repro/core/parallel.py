@@ -47,7 +47,8 @@ __all__ = ["CACHE_SCHEMA_VERSION", "SweepStats", "ResultCache",
 #: Bumped whenever cached entries become unreadable by newer code (layout
 #: changes) *or* stale (simulation semantics changed).  Old entries are
 #: simply treated as misses.
-CACHE_SCHEMA_VERSION = 1
+#: 2: results carry the instrumentation-stream digest (repro.obs).
+CACHE_SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -155,7 +156,8 @@ class ResultCache:
         if data.get("schema") != CACHE_SCHEMA_VERSION:
             self.misses += 1
             return None
-        result = PtpResult(config=config)
+        result = PtpResult(config=config,
+                           event_digest=data["result"].get("event_digest"))
         for s in data["result"]["samples"]:
             result.samples.append(sample_from_dict(s))
         self.hits += 1
@@ -241,21 +243,27 @@ def plan_cells(base: PtpBenchmarkConfig,
     return cells
 
 
-def _execute_cell(config: PtpBenchmarkConfig) -> List[Dict]:
-    """Worker entry point: run one cell, ship raw timelines back.
+def _execute_cell(config: PtpBenchmarkConfig) -> Dict:
+    """Worker entry point: run one cell, ship raw timelines + digest back.
 
-    Only the sample timelines cross the process boundary; the parent
-    recomputes the derived metrics from them, exactly as a deserializing
-    load does, so parallel results match serial ones bit for bit.
+    Only the sample timelines and the event-stream digest cross the
+    process boundary; the parent recomputes the derived metrics from the
+    timelines, exactly as a deserializing load does, so parallel results
+    match serial ones bit for bit — and the shipped digest proves the
+    worker's event stream was identical too.
     """
     result = run_ptp_benchmark(config)
-    return [sample_to_dict(s) for s in result.samples]
+    return {
+        "samples": [sample_to_dict(s) for s in result.samples],
+        "event_digest": result.event_digest,
+    }
 
 
-def _result_from_samples(config: PtpBenchmarkConfig,
-                         samples: List[Dict]) -> PtpResult:
-    result = PtpResult(config=config)
-    for s in samples:
+def _result_from_shipped(config: PtpBenchmarkConfig,
+                         shipped: Dict) -> PtpResult:
+    result = PtpResult(config=config,
+                       event_digest=shipped.get("event_digest"))
+    for s in shipped["samples"]:
         result.samples.append(sample_from_dict(s))
     return result
 
@@ -314,8 +322,8 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 shipped = pool.map(_execute_cell,
                                    [config for _, config in pending])
-                for (i, config), samples in zip(pending, shipped):
-                    results[i] = _result_from_samples(config, samples)
+                for (i, config), payload in zip(pending, shipped):
+                    results[i] = _result_from_shipped(config, payload)
         if cache is not None:
             for i, config in pending:
                 cache.put(config, results[i])

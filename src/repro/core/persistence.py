@@ -80,11 +80,19 @@ def sample_from_dict(data: Dict) -> PtpSample:
 
 
 def result_to_dict(result: PtpResult) -> Dict:
-    """Serialize one configuration's result (timelines are lossless)."""
-    return {
+    """Serialize one configuration's result (timelines are lossless).
+
+    The event-stream digest rides along when present (additive field —
+    the format version is unchanged, and old records simply load with
+    ``event_digest=None``).
+    """
+    out = {
         "config": _config_snapshot(result.config),
         "samples": [sample_to_dict(s) for s in result.samples],
     }
+    if result.event_digest is not None:
+        out["event_digest"] = result.event_digest
+    return out
 
 
 def result_from_dict(data: Dict) -> PtpResult:
@@ -98,7 +106,8 @@ def result_from_dict(data: Dict) -> PtpResult:
         config = data["config"]
     except KeyError as exc:
         raise ConfigurationError(f"malformed result record: missing {exc}")
-    result = PtpResult(config=config)
+    result = PtpResult(config=config,
+                       event_digest=data.get("event_digest"))
     for s in samples_data:
         result.samples.append(sample_from_dict(s))
     return result

@@ -9,10 +9,18 @@ demand:
 1. *Partitioned phase* — both sides ``start``; the sender forks one thread
    per partition; each thread computes its (noise-inflated) amount and
    calls ``MPI_Pready``; the receiver's arrival times are taken from the
-   ``MPI_Parrived`` events.
+   ``part.arrived`` events.
 2. *Single-send phase* — the sender forks the same team with the same
    compute draws, joins, then issues one ``m``-byte send matched by a
    pre-posted receive.
+
+The programs do no bookkeeping of their own: they emit ``bench.*`` phase
+markers on the cluster's instrumentation bus and the streaming
+:class:`~repro.obs.TimelineBuilder` sink assembles one
+:class:`~repro.metrics.timeline.PartitionTimeline` per iteration from the
+markers plus the runtime's ``part.pready``/``part.arrived`` events.  A
+:class:`~repro.obs.DigestSink` fingerprints the full event stream, so
+serial, parallel, and cached executions can be proven bit-identical.
 
 A cold-cache configuration invalidates both ranks' caches at the top of
 every iteration (§3.4); a hot-cache one relies on the warmup iteration to
@@ -22,14 +30,17 @@ install the buffers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Iterable, List, Optional, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..metrics import PartitionTimeline, PtpMetrics, SampleSummary, summarize
 from ..mpi import Cluster
+from ..obs import DigestSink, Sink, TimelineBuilder
+from ..obs.kinds import (BENCH_JOIN, BENCH_PART_BEGIN, BENCH_RECV_COMPLETE,
+                         BENCH_SEND_BEGIN, BENCH_SINGLE_BEGIN)
 from .config import COLD, PtpBenchmarkConfig
 
-__all__ = ["PtpSample", "PtpResult", "run_ptp_benchmark",
+__all__ = ["PtpSample", "PtpResult", "run_ptp_benchmark", "run_ptp_trial",
            "ExecutionCounter", "EXECUTIONS"]
 
 #: Tags used by the two phases (ordinary user tag space).
@@ -75,10 +86,17 @@ class PtpSample:
 
 @dataclass
 class PtpResult:
-    """All measured iterations of one configuration, with summaries."""
+    """All measured iterations of one configuration, with summaries.
+
+    ``event_digest`` is the SHA-256 fingerprint of the trial's full
+    instrumentation stream (``None`` for results rebuilt from formats
+    that predate it); equal digests prove two executions saw the same
+    events in the same order with bit-identical payloads.
+    """
 
     config: PtpBenchmarkConfig
     samples: List[PtpSample] = field(default_factory=list)
+    event_digest: Optional[str] = None
 
     def _summary(self, attr: str) -> SampleSummary:
         return summarize([getattr(s.metrics, attr) for s in self.samples])
@@ -111,7 +129,7 @@ class PtpResult:
         return self._summary(metric)
 
 
-def _sender_program(ctx, config: PtpBenchmarkConfig, shared: Dict):
+def _sender_program(ctx, config: PtpBenchmarkConfig):
     comm, main = ctx.comm, ctx.main
     m, n = config.message_bytes, config.partitions
     rng = ctx.rng("noise")
@@ -120,7 +138,6 @@ def _sender_program(ctx, config: PtpBenchmarkConfig, shared: Dict):
     nthreads = config.threads
     ppt = config.partitions_per_thread
     for it in range(config.total_iterations):
-        rec = shared.setdefault(it, {})
         yield from comm.barrier(main)
         if config.cache == COLD:
             yield from ctx.invalidate_cache()
@@ -128,7 +145,6 @@ def _sender_program(ctx, config: PtpBenchmarkConfig, shared: Dict):
                                               config.compute_seconds)
         # ---- partitioned phase -------------------------------------
         yield from ps.start(main)
-        pready_calls = [0.0] * n
 
         def worker(tc):
             yield from tc.compute(computes[tc.thread_id])
@@ -136,66 +152,72 @@ def _sender_program(ctx, config: PtpBenchmarkConfig, shared: Dict):
             # paper's 1:1 mapping when partitions_per_thread == 1).
             lo = tc.thread_id * ppt
             for p in range(lo, lo + ppt):
-                pready_calls[p] = ctx.sim.now
                 yield from ps.pready(tc, p)
 
         # Anchor each phase at the opening of its parallel region so the
         # two phases (which run back to back in absolute simulated time)
         # can be compared on a common relative clock, as the paper's
         # side-by-side timelines in Fig. 3 do.
-        rec["part_anchor"] = ctx.sim.now
+        ctx.obs.emit(BENCH_PART_BEGIN, ctx.sim.now, ctx.rank, it, m, n)
         team = yield from ctx.fork(nthreads, worker)
         yield from team.join()
         yield from ps.wait(main)
-        rec["pready_times"] = list(pready_calls)
         # ---- single-send phase --------------------------------------
         yield from comm.barrier(main)
 
         def worker_single(tc):
             yield from tc.compute(computes[tc.thread_id])
 
-        rec["single_anchor"] = ctx.sim.now
+        ctx.obs.emit(BENCH_SINGLE_BEGIN, ctx.sim.now, ctx.rank, it)
         team2 = yield from ctx.fork(nthreads, worker_single)
         yield from team2.join()
-        rec["join_time"] = ctx.sim.now
-        rec["send_start"] = ctx.sim.now
+        ctx.obs.emit(BENCH_JOIN, ctx.sim.now, ctx.rank, it)
+        ctx.obs.emit(BENCH_SEND_BEGIN, ctx.sim.now, ctx.rank, it)
         sreq = yield from comm.isend(main, 1, _SINGLE_TAG, m)
         yield sreq.wait()
         yield from comm.barrier(main)
 
 
-def _receiver_program(ctx, config: PtpBenchmarkConfig, shared: Dict):
+def _receiver_program(ctx, config: PtpBenchmarkConfig):
     comm, main = ctx.comm, ctx.main
     m, n = config.message_bytes, config.partitions
     pr = yield from comm.precv_init(main, 0, _PART_TAG, m, n,
                                     impl=config.impl)
     for it in range(config.total_iterations):
-        rec = shared.setdefault(it, {})
         yield from comm.barrier(main)
         if config.cache == COLD:
             yield from ctx.invalidate_cache()
         # ---- partitioned phase -------------------------------------
         yield from pr.start(main)
         yield from pr.wait(main)
-        rec["arrival_times"] = [
-            pr.arrived_event(i).value[0] for i in range(n)
-        ]
         # ---- single-send phase --------------------------------------
         # Pre-post the receive so t_pt2pt measures the transfer, not the
         # posting race.
         rreq = yield from comm.irecv(main, 0, _SINGLE_TAG, m)
         yield from comm.barrier(main)
         yield rreq.wait()
-        rec["recv_complete"] = ctx.sim.now
+        ctx.obs.emit(BENCH_RECV_COMPLETE, ctx.sim.now, ctx.rank, it)
         yield from comm.barrier(main)
 
 
-def run_ptp_benchmark(config: PtpBenchmarkConfig) -> PtpResult:
-    """Run one configuration on a fresh two-rank cluster.
+#: Extra sinks for :func:`run_ptp_trial`: bare sinks (attached with their
+#: ``PATTERNS`` attribute, ``"*"`` when absent) or ``(sink, patterns)``.
+SinkSpec = Union[Sink, Tuple[Sink, Tuple[str, ...]]]
+
+
+def run_ptp_trial(config: PtpBenchmarkConfig,
+                  sinks: Iterable[SinkSpec] = ()
+                  ) -> Tuple[PtpResult, Cluster]:
+    """Run one instrumented trial; returns ``(result, cluster)``.
 
     The two ranks live on distinct nodes (one switch apart), like the
-    paper's single-wing point-to-point setup.  Returns the measured
-    iterations only — warmup is discarded.
+    paper's single-wing point-to-point setup.  A
+    :class:`~repro.obs.TimelineBuilder` and a ``"*"``-subscribed
+    :class:`~repro.obs.DigestSink` are always attached; pass ``sinks``
+    to subscribe additional observers (e.g. a
+    :class:`~repro.obs.MemorySink` for ``repro trace export``) to the
+    same stream.  The result keeps measured iterations only — warmup is
+    discarded — and carries the digest of the *full* event stream.
     """
     EXECUTIONS.bump()
     cluster = Cluster(
@@ -208,33 +230,43 @@ def run_ptp_benchmark(config: PtpBenchmarkConfig) -> PtpResult:
         bind_policy=config.bind_policy,
         seed=config.seed,
     )
-    shared: Dict[int, Dict] = {}
+    builder = TimelineBuilder()
+    cluster.obs.attach(builder, TimelineBuilder.PATTERNS)
+    digest = DigestSink()
+    cluster.obs.attach(digest, ("*",))
+    for spec in sinks:
+        if isinstance(spec, tuple):
+            sink, patterns = spec
+            cluster.obs.attach(sink, patterns)
+        else:
+            cluster.obs.attach(spec, getattr(spec, "PATTERNS", ("*",)))
 
     def program(ctx):
         if ctx.rank == 0:
-            yield from _sender_program(ctx, config, shared)
+            yield from _sender_program(ctx, config)
         else:
-            yield from _receiver_program(ctx, config, shared)
+            yield from _receiver_program(ctx, config)
 
     cluster.run(program)
+    cluster.obs.finalize()
 
-    result = PtpResult(config=config)
-    for it in range(config.warmup, config.total_iterations):
-        rec = shared[it]
-        t_pt2pt = rec["recv_complete"] - rec["send_start"]
-        # Re-express both phases on a common clock anchored at their
-        # parallel-region openings (see _sender_program).
-        pa, sa = rec["part_anchor"], rec["single_anchor"]
-        timeline = PartitionTimeline(
-            message_bytes=config.message_bytes,
-            pready_times=[t - pa for t in rec["pready_times"]],
-            arrival_times=[t - pa for t in rec["arrival_times"]],
-            join_time=rec["join_time"] - sa,
-            pt2pt_time=t_pt2pt,
-        )
+    result = PtpResult(config=config, event_digest=digest.hexdigest())
+    for it, timeline in builder.timelines:
+        if it < config.warmup:
+            continue
         result.samples.append(PtpSample(
             iteration=it - config.warmup,
             timeline=timeline,
             metrics=PtpMetrics.from_timeline(timeline),
         ))
+    return result, cluster
+
+
+def run_ptp_benchmark(config: PtpBenchmarkConfig) -> PtpResult:
+    """Run one configuration on a fresh two-rank cluster; returns the result.
+
+    Convenience wrapper over :func:`run_ptp_trial` for callers that do
+    not need the cluster or extra sinks.
+    """
+    result, _ = run_ptp_trial(config)
     return result

@@ -28,7 +28,9 @@ from ..machine import (BindPolicy, MachineSpec, NIAGARA_NODE, bind_threads,
                        validate_spec)
 from ..network import (Fabric, INTRA_NODE, NIAGARA_EDR, NetworkParams,
                        Placement, validate_params)
-from ..sim import RandomStreams, Simulator, TraceRecorder
+from ..obs import EventBus
+from ..obs.kinds import PART_INIT, TEAM_FORK
+from ..sim import RandomStreams, Simulator
 from ..threadsim import (DEFAULT_OPENMP_COSTS, OpenMPCosts, ThreadContext,
                          ThreadTeam)
 from .comm import Communicator
@@ -70,9 +72,9 @@ class RankContext:
         return self.cluster.sim
 
     @property
-    def trace(self) -> TraceRecorder:
-        """The shared trace recorder."""
-        return self.cluster.trace
+    def obs(self) -> EventBus:
+        """The shared instrumentation bus."""
+        return self.cluster.obs
 
     @property
     def spec(self) -> MachineSpec:
@@ -97,8 +99,7 @@ class RankContext:
         yield self.sim.timeout(self.cluster.omp_costs.fork_cost(nthreads))
         team = ThreadTeam(self, binding, worker,
                           omp_costs=self.cluster.omp_costs)
-        self.trace.emit(self.sim.now, "team.fork", rank=self.rank,
-                        nthreads=nthreads)
+        self.obs.emit(TEAM_FORK, self.sim.now, self.rank, nthreads)
         return team
 
     def parallel(self, nthreads: int,
@@ -172,12 +173,12 @@ class Cluster:
         self.omp_costs = omp_costs
         self.bind_policy = bind_policy
         self.sim = Simulator()
-        self.trace = TraceRecorder()
+        self.obs = EventBus()
         self.streams = RandomStreams(seed)
         self.fabric = Fabric(placement, inter_node, intra_node)
         self.procs: List[MPIProcess] = [
             MPIProcess(self.sim, r, self.fabric, spec, costs, mode,
-                       self.trace, self._route)
+                       self.obs, self._route)
             for r in range(nranks)
         ]
         self.contexts: List[RankContext] = [
@@ -199,8 +200,9 @@ class Cluster:
 
     def _register_partitioned(self, req, is_send: bool) -> None:
         """Init-time matching of partitioned halves, in posting order."""
-        if self.checker is not None:
-            self.checker.on_init(req, is_send)
+        self.obs.emit(PART_INIT, self.sim.now, req.proc.rank,
+                      "send" if is_send else "recv", req.peer_rank, req.tag,
+                      req.nbytes, req.partitions, req)
         if is_send:
             key = (req.proc.rank, req.peer_rank, req.tag, req.comm_id)
         else:

@@ -14,8 +14,9 @@ count).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from ..obs import CounterSink
 from ..sim import MutexStats
 
 __all__ = ["RankDiagnostics", "cluster_report", "collect_diagnostics"]
@@ -44,6 +45,9 @@ class RankDiagnostics:
     #: Findings the dynamic checker attributed to this rank (0 when the
     #: cluster ran without :func:`repro.analysis.enable_checking`).
     checker_findings: int = 0
+    #: Instrumentation events attributed to this rank by a
+    #: :class:`repro.obs.CounterSink` (0 when none was subscribed).
+    events_observed: int = 0
 
     @property
     def mean_scan_length(self) -> float:
@@ -52,8 +56,14 @@ class RankDiagnostics:
         return self.elements_scanned / attempts if attempts else 0.0
 
 
-def collect_diagnostics(cluster) -> List[RankDiagnostics]:
-    """Snapshot every rank's counters from a (finished) cluster run."""
+def collect_diagnostics(
+        cluster,
+        counters: Optional[CounterSink] = None) -> List[RankDiagnostics]:
+    """Snapshot every rank's counters from a (finished) cluster run.
+
+    Pass the :class:`repro.obs.CounterSink` that observed the run to
+    fold per-rank event totals into the snapshot.
+    """
     out: List[RankDiagnostics] = []
     checker = getattr(cluster, "checker", None)
     for proc in cluster.procs:
@@ -81,21 +91,31 @@ def collect_diagnostics(cluster) -> List[RankDiagnostics]:
             cache_hit_ratio=cache.hit_ratio,
             cache_invalidations=cache.invalidations,
             checker_findings=n_findings,
+            events_observed=(sum(counters.rank_counts(proc.rank).values())
+                             if counters is not None else 0),
         ))
     return out
 
 
-def cluster_report(cluster) -> str:
-    """Render the per-rank diagnostics as a text table."""
+def cluster_report(cluster,
+                   counters: Optional[CounterSink] = None) -> str:
+    """Render the per-rank diagnostics as a text table.
+
+    With a :class:`repro.obs.CounterSink` that observed the run, each
+    rank's row gains an ``events`` column and a per-kind event-count
+    table is appended.
+    """
     from ..core.report import ascii_table  # local import: avoid cycle
 
-    diags = collect_diagnostics(cluster)
+    diags = collect_diagnostics(cluster, counters=counters)
     headers = ["rank", "lock acq", "contended", "lock wait",
                "matches (p/u)", "scan avg", "q depth (p/u)",
                "nic msgs", "nic MiB", "nic busy", "cache hit", "checks"]
+    if counters is not None:
+        headers.append("events")
     rows = []
     for d in diags:
-        rows.append([
+        row = [
             str(d.rank),
             str(d.lock_acquisitions),
             f"{d.lock_contention_ratio * 100:.0f}%",
@@ -108,7 +128,17 @@ def cluster_report(cluster) -> str:
             f"{d.nic_busy_time * 1e3:.2f}ms",
             f"{d.cache_hit_ratio * 100:.0f}%",
             "ok" if d.checker_findings == 0 else f"{d.checker_findings}!",
-        ])
-    return ascii_table(headers, rows,
-                       title=f"cluster diagnostics at t="
-                             f"{cluster.now * 1e3:.3f}ms")
+        ]
+        if counters is not None:
+            row.append(str(d.events_observed))
+        rows.append(row)
+    report = ascii_table(headers, rows,
+                         title=f"cluster diagnostics at t="
+                               f"{cluster.now * 1e3:.3f}ms")
+    if counters is not None:
+        count_rows = [[kind, str(rank), str(n)]
+                      for kind, rank, n in counters.rows()]
+        report += "\n\n" + ascii_table(
+            ["event kind", "rank", "count"], count_rows,
+            title=f"event counts ({counters.total} total)")
+    return report

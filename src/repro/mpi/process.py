@@ -21,7 +21,10 @@ from typing import Any, Callable, Optional
 from ..errors import ThreadingModeError, TruncationError
 from ..machine import CacheModel, MachineSpec, NUMAModel
 from ..network import NIC, Fabric, Transmission
-from ..sim import Mutex, Simulator, Store, TraceRecorder
+from ..obs import EventBus
+from ..obs.kinds import (RECV_CANCELLED, RECV_COMPLETE, RECV_POST,
+                         SEND_COMPLETE, SEND_START)
+from ..sim import Mutex, Simulator, Store
 from .constants import MPICosts, ThreadingMode
 from .matching import Envelope, MatchingEngine
 from .protocol import Frame, FrameKind
@@ -46,8 +49,8 @@ class MPIProcess:
     mode:
         Declared threading mode; violations raise
         :class:`~repro.errors.ThreadingModeError`.
-    trace:
-        Shared trace recorder used by the metric definitions.
+    obs:
+        Shared instrumentation bus events are emitted on.
     router:
         ``router(dst_rank, frame)`` delivering a frame into the destination
         rank's inbox (wired up by the cluster).
@@ -55,7 +58,7 @@ class MPIProcess:
 
     def __init__(self, sim: Simulator, rank: int, fabric: Fabric,
                  spec: MachineSpec, costs: MPICosts, mode: ThreadingMode,
-                 trace: TraceRecorder,
+                 obs: EventBus,
                  router: Callable[[int, Frame], None]):
         self.sim = sim
         self.rank = rank
@@ -63,7 +66,7 @@ class MPIProcess:
         self.spec = spec
         self.costs = costs
         self.mode = mode
-        self.trace = trace
+        self.obs = obs
         self._router = router
 
         self.cache = CacheModel(spec)
@@ -71,16 +74,12 @@ class MPIProcess:
         self.lock = Mutex(sim, name=f"rank{rank}.liblock")
         self.matching = MatchingEngine()
         self.inbox: Store = Store(sim, name=f"rank{rank}.inbox")
-        self.nic = NIC(sim, rank, router)
+        self.nic = NIC(sim, rank, router, obs=obs)
         self._match_cost = fabric.inter_node.match_cost
         self._in_mpi = 0
         #: Threads currently spin-waiting inside a blocking MPI call; under
         #: MULTIPLE they contend with the progress engine for the lock.
         self.blocked_waiters = 0
-        #: Optional dynamic-correctness observer (see
-        #: :func:`repro.analysis.enable_checking`).  ``None`` by default so
-        #: the partitioned hot paths pay a single attribute test at most.
-        self.checker: Optional[Any] = None
         sim.process(self._progress_loop(), name=f"rank{rank}.progress")
 
     # ------------------------------------------------------------------
@@ -209,8 +208,7 @@ class MPIProcess:
                 + params.send_overhead)
         yield from self._mpi_entry(tc, cost)
         env = Envelope(self.rank, tag, comm_id)
-        self.trace.emit(self.sim.now, "send.start", rank=self.rank,
-                        dest=dest, tag=tag, nbytes=nbytes)
+        self.obs.emit(SEND_START, self.sim.now, self.rank, dest, tag, nbytes)
         if params.is_eager(nbytes):
             frame = Frame(FrameKind.EAGER, self.rank, dest, nbytes,
                           envelope=env, payload=payload)
@@ -237,8 +235,7 @@ class MPIProcess:
             # frame can slip into the unexpected queue unseen.
             req._posted_entry = self.matching.post_recv(req, source, tag,
                                                         comm_id)
-            self.trace.emit(self.sim.now, "recv.post", rank=self.rank,
-                            source=source, tag=tag)
+            self.obs.emit(RECV_POST, self.sim.now, self.rank, source, tag)
             if scanned:
                 yield self.sim.timeout(scanned * self._match_cost)
             return req
@@ -276,8 +273,7 @@ class MPIProcess:
         if cancelled:
             req._finish(self.sim.now, source=-1, tag=req.tag, nbytes=0)
             req.status.cancelled = True
-            self.trace.emit(self.sim.now, "recv.cancelled",
-                            rank=self.rank, tag=req.tag)
+            self.obs.emit(RECV_CANCELLED, self.sim.now, self.rank, req.tag)
         return cancelled
 
     # ------------------------------------------------------------------
@@ -398,16 +394,15 @@ class MPIProcess:
     def _complete_send(self, req: SendRequest) -> None:
         req._finish(self.sim.now, source=self.rank, tag=req.tag,
                     nbytes=req.nbytes)
-        self.trace.emit(self.sim.now, "send.complete", rank=self.rank,
-                        dest=req.dest, tag=req.tag, nbytes=req.nbytes)
+        self.obs.emit(SEND_COMPLETE, self.sim.now, self.rank, req.dest,
+                      req.tag, req.nbytes)
 
     def _complete_recv(self, req: RecvRequest, envelope: Envelope,
                        nbytes: int, payload: Any) -> None:
         req._finish(self.sim.now, source=envelope.source, tag=envelope.tag,
                     nbytes=nbytes, payload=payload)
-        self.trace.emit(self.sim.now, "recv.complete", rank=self.rank,
-                        source=envelope.source, tag=envelope.tag,
-                        nbytes=nbytes)
+        self.obs.emit(RECV_COMPLETE, self.sim.now, self.rank,
+                      envelope.source, envelope.tag, nbytes)
 
     @staticmethod
     def _check_truncation(req: RecvRequest, frame: Frame) -> None:

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..obs import EventBus
+from ..obs.kinds import NIC_TX_DONE, NIC_TX_START
 from ..sim import Event, Simulator, Store
 
 __all__ = ["Transmission", "NIC", "NICStats"]
@@ -77,13 +79,18 @@ class NIC:
     deliver:
         Callback ``deliver(dst_rank, payload)`` invoked at the destination's
         side when a message finishes propagating.
+    obs:
+        Instrumentation bus ``nic.tx_*`` events go to; a private empty bus
+        when omitted, so standalone NICs stay valid and emission free.
     """
 
     def __init__(self, sim: Simulator, rank: int,
-                 deliver: Callable[[int, Any], None]):
+                 deliver: Callable[[int, Any], None],
+                 obs: Optional[EventBus] = None):
         self.sim = sim
         self.rank = rank
         self.deliver = deliver
+        self.obs = obs if obs is not None else EventBus()
         self.stats = NICStats()
         self._queue: Store = Store(sim, name=f"nic{rank}.tx")
         sim.process(self._tx_worker(), name=f"nic{rank}")
@@ -109,10 +116,14 @@ class NIC:
         while True:
             tx: Transmission = yield self._queue.get()
             start = self.sim.now
+            self.obs.emit(NIC_TX_START, start, self.rank, tx.dst_rank,
+                          tx.nbytes)
             yield self.sim.timeout(tx.gap + tx.wire_time)
             self.stats.messages += 1
             self.stats.bytes += tx.nbytes
             self.stats.busy_time += self.sim.now - start
+            self.obs.emit(NIC_TX_DONE, self.sim.now, self.rank, tx.dst_rank,
+                          tx.nbytes)
             tx.injected.succeed(self.sim.now)
             self._deliver_later(tx)
 

@@ -1,0 +1,106 @@
+"""The event bus: per-kind sink dispatch with a near-zero disabled path.
+
+Each :class:`EventBus` keeps one sink list per registered kind, indexed
+by the kind's interned integer id.  :meth:`EventBus.emit` therefore costs
+one list index and one falsy test when nothing subscribes to that kind —
+the guarantee the ``obs_emission_disabled`` kernel in
+``benchmarks/bench_kernel.py`` measures and ``scripts/bench_guard.py``
+gates at 5% over baseline.
+
+Sinks subscribe with kind patterns (``"part.*"``, ``"*"``) resolved
+through the schema; records are delivered in emission order, which is the
+total order every exporter and digest preserves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .record import EventRecord
+from .schema import SCHEMA, EventKind, EventSchema
+from .sinks import MemorySink, Sink
+
+__all__ = ["EventBus"]
+
+
+class EventBus:
+    """Dispatches :class:`~repro.obs.record.EventRecord` to subscribed sinks."""
+
+    __slots__ = ("schema", "_by_kind", "_subs")
+
+    def __init__(self, schema: Optional[EventSchema] = None) -> None:
+        self.schema = schema if schema is not None else SCHEMA
+        self._by_kind: List[List[Sink]] = [[] for _ in
+                                           range(len(self.schema))]
+        self._subs: List[Tuple[Sink, Tuple[EventKind, ...]]] = []
+
+    def attach(self, sink: Sink, patterns=("*",)) -> Sink:
+        """Subscribe ``sink`` to every kind matching ``patterns``.
+
+        Returns the sink, so ``builder = bus.attach(TimelineBuilder(...))``
+        reads naturally.  Unknown patterns raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        kinds = tuple(self.schema.resolve(patterns))
+        for kind in kinds:
+            self._ensure(kind.id).append(sink)
+        self._subs.append((sink, kinds))
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        """Unsubscribe ``sink`` from every kind it was attached to."""
+        for recorded, kinds in self._subs:
+            if recorded is sink:
+                for kind in kinds:
+                    lst = self._ensure(kind.id)
+                    while sink in lst:
+                        lst.remove(sink)
+        self._subs = [(s, k) for s, k in self._subs if s is not sink]
+
+    def record(self, *patterns: str) -> MemorySink:
+        """Attach and return a fresh :class:`MemorySink` for ``patterns``.
+
+        The one-liner for tests and ad-hoc inspection::
+
+            mem = bus.record("part.*")
+        """
+        return self.attach(MemorySink(), patterns or ("*",))
+
+    def subscribed(self, kind: EventKind) -> bool:
+        """True when at least one sink listens to ``kind``."""
+        return (kind.id < len(self._by_kind)
+                and bool(self._by_kind[kind.id]))
+
+    def emit(self, kind: EventKind, time: float, *values) -> None:
+        """Deliver one event to the sinks subscribed to ``kind``.
+
+        The disabled fast path — no subscriber for this kind — is a list
+        index plus a falsy check; the record object is only built when a
+        sink will actually see it.
+        """
+        try:
+            sinks = self._by_kind[kind.id]
+        except IndexError:
+            # Kind registered after this bus was built; nothing can have
+            # subscribed to it yet.
+            self._ensure(kind.id)
+            return
+        if not sinks:
+            return
+        record = EventRecord(time, kind, values)
+        for sink in sinks:
+            sink.accept(record)
+
+    def finalize(self) -> None:
+        """Tell every attached sink the stream is complete."""
+        seen = []
+        for sink, _ in self._subs:
+            if any(sink is s for s in seen):
+                continue
+            seen.append(sink)
+            sink.finalize()
+
+    def _ensure(self, kind_id: int) -> List[Sink]:
+        while len(self._by_kind) <= kind_id:
+            self._by_kind.append([])
+        return self._by_kind[kind_id]

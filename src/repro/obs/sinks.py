@@ -1,0 +1,183 @@
+"""Built-in sinks: memory capture, counters/histograms, stream digests.
+
+A sink is anything with ``accept(record)`` (called once per subscribed
+event, in emission order) and ``finalize()`` (called when the stream
+ends).  The streaming :class:`~repro.obs.timeline.TimelineBuilder` and
+the dynamic checker (:class:`repro.analysis.checker.Checker`) are sinks
+too; this module holds the generic ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .record import EventRecord
+
+__all__ = ["Sink", "MemorySink", "CounterSink", "DigestSink",
+           "canonical_line"]
+
+
+class Sink:
+    """Base class for event consumers; subclasses override :meth:`accept`."""
+
+    def accept(self, record: EventRecord) -> None:
+        """Receive one event record (emission order is guaranteed)."""
+
+    def finalize(self) -> None:
+        """Called once after the last event of the stream."""
+
+
+class MemorySink(Sink):
+    """Retains every accepted record in a list for later inspection.
+
+    Replaces the query surface of the old ``TraceRecorder``: filter by
+    kind name and payload fields, pull timestamps, or bracket a span.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[EventRecord] = []
+
+    def accept(self, record: EventRecord) -> None:
+        """Append the record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self.records)
+
+    def filter(self, kind: Optional[str] = None,
+               **fields: Any) -> List[EventRecord]:
+        """Records matching a kind name and/or exact payload field values."""
+        out = []
+        for rec in self.records:
+            if kind is not None and rec.kind.name != kind:
+                continue
+            if any(rec.get(f, _MISSING) != v for f, v in fields.items()):
+                continue
+            out.append(rec)
+        return out
+
+    def times(self, kind: str, **fields: Any) -> List[float]:
+        """Timestamps of matching records, in emission order."""
+        return [rec.time for rec in self.filter(kind, **fields)]
+
+    def first(self, kind: str, **fields: Any) -> Optional[EventRecord]:
+        """Earliest matching record, or None."""
+        matches = self.filter(kind, **fields)
+        return matches[0] if matches else None
+
+    def last(self, kind: str, **fields: Any) -> Optional[EventRecord]:
+        """Latest matching record, or None."""
+        matches = self.filter(kind, **fields)
+        return matches[-1] if matches else None
+
+    def span(self, kind: str, **fields: Any) -> float:
+        """Last-minus-first timestamp over matching records (0.0 if <2)."""
+        ts = self.times(kind, **fields)
+        return ts[-1] - ts[0] if len(ts) >= 2 else 0.0
+
+
+_MISSING = object()
+
+
+def _bucket(nbytes: int) -> int:
+    """Power-of-two histogram bucket index for a byte count."""
+    return max(0, int(nbytes).bit_length() - 1)
+
+
+class CounterSink(Sink):
+    """Aggregates per-``(kind, rank)`` event counts and byte histograms.
+
+    Feeds the diagnostics report: any record carrying a ``rank`` field is
+    counted under that rank (rank -1 otherwise), and records with an
+    ``nbytes`` field additionally land in a power-of-two size histogram.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[Tuple[str, int], int] = {}
+        self.histograms: Dict[str, Dict[int, int]] = {}
+        self.total = 0
+
+    def accept(self, record: EventRecord) -> None:
+        """Count the record and histogram its ``nbytes`` if present."""
+        rank = record.get("rank", -1)
+        if not isinstance(rank, int):
+            rank = -1
+        key = (record.kind.name, rank)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total += 1
+        nbytes = record.get("nbytes")
+        if isinstance(nbytes, int) and nbytes > 0:
+            hist = self.histograms.setdefault(record.kind.name, {})
+            bucket = _bucket(nbytes)
+            hist[bucket] = hist.get(bucket, 0) + 1
+
+    def count(self, kind: str, rank: Optional[int] = None) -> int:
+        """Total events of ``kind`` (for one rank, or all ranks)."""
+        if rank is not None:
+            return self.counts.get((kind, rank), 0)
+        return sum(n for (k, _), n in self.counts.items() if k == kind)
+
+    def rank_counts(self, rank: int) -> Dict[str, int]:
+        """Kind → count mapping for one rank."""
+        return {k: n for (k, r), n in sorted(self.counts.items())
+                if r == rank}
+
+    def rows(self) -> List[Tuple[str, int, int]]:
+        """Sorted ``(kind, rank, count)`` rows for tabular reports."""
+        return [(k, r, n) for (k, r), n in sorted(self.counts.items())]
+
+    def histogram_rows(self, kind: str) -> List[Tuple[str, int]]:
+        """Sorted ``(size-range, count)`` rows for one kind's histogram."""
+        hist = self.histograms.get(kind, {})
+        return [(f"[{1 << b}, {1 << (b + 1)})", n)
+                for b, n in sorted(hist.items())]
+
+
+def canonical_line(record: EventRecord) -> str:
+    """Bit-stable one-line serialization of a record's wire fields.
+
+    Floats render via ``float.hex()`` so the representation is exact —
+    the digest over these lines is what the serial / ``--jobs N`` /
+    cached bit-identity tests compare.
+    """
+    parts = [format(record.time, "x")
+             if isinstance(record.time, int)
+             else float(record.time).hex(),
+             record.kind.name]
+    for field, value in zip(record.kind.wire_fields,
+                            record.kind.wire_values(record.values)):
+        if isinstance(value, bool):
+            text = "true" if value else "false"
+        elif isinstance(value, float):
+            text = value.hex()
+        else:
+            text = repr(value)
+        parts.append(f"{field}={text}")
+    return "|".join(parts)
+
+
+class DigestSink(Sink):
+    """SHA-256 digest over the canonical event stream.
+
+    Equal digests mean bit-identical streams: same kinds, same order,
+    same timestamps, same wire payloads.  Used by the runner to prove
+    serial, parallel, and cached sweeps observe the same events.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.count = 0
+
+    def accept(self, record: EventRecord) -> None:
+        """Fold the record's canonical line into the digest."""
+        self._hash.update(canonical_line(record).encode("utf-8"))
+        self._hash.update(b"\n")
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        """Digest of everything accepted so far."""
+        return self._hash.hexdigest()

@@ -1,0 +1,143 @@
+"""Streaming construction of :class:`PartitionTimeline` objects.
+
+The :class:`TimelineBuilder` sink replaces the runner's post-hoc list
+surgery: it consumes the ``bench.*`` phase markers plus ``part.pready``
+and ``part.arrived``, and finalizes one
+:class:`~repro.metrics.timeline.PartitionTimeline` per iteration the
+moment its closing ``bench.recv_complete`` arrives.
+
+Clock convention (matching the paper's Figure 3 side-by-side timelines):
+``pready``/``arrival`` times are relative to the partitioned phase's
+``bench.part_begin`` anchor; ``join_time`` is relative to
+``bench.single_begin``; ``pt2pt_time`` is ``bench.recv_complete`` minus
+``bench.send_begin``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..metrics.timeline import PartitionTimeline
+from .record import EventRecord
+from .sinks import Sink
+
+__all__ = ["TimelineBuilder"]
+
+
+class _Draft:
+    """Mutable per-iteration state while the stream is mid-iteration."""
+
+    __slots__ = ("iteration", "message_bytes", "partitions", "anchor",
+                 "pready", "arrival", "single_anchor", "join_abs",
+                 "send_start")
+
+    def __init__(self, iteration: int, message_bytes: int,
+                 partitions: int, anchor: float):
+        self.iteration = iteration
+        self.message_bytes = message_bytes
+        self.partitions = partitions
+        self.anchor = anchor
+        self.pready: List[Optional[float]] = [None] * partitions
+        self.arrival: List[Optional[float]] = [None] * partitions
+        self.single_anchor: Optional[float] = None
+        self.join_abs: Optional[float] = None
+        self.send_start: Optional[float] = None
+
+
+class TimelineBuilder(Sink):
+    """Builds one :class:`PartitionTimeline` per benchmark iteration.
+
+    Attach with :attr:`PATTERNS`; completed ``(iteration, timeline)``
+    pairs accumulate in :attr:`timelines` in iteration order.  A stream
+    that violates the benchmark's phase structure (missing markers,
+    double timestamps) raises :class:`~repro.errors.SimulationError` —
+    a malformed stream must never silently produce a metric.
+    """
+
+    #: The subscription this sink needs.
+    PATTERNS = ("bench.*", "part.pready", "part.arrived")
+
+    def __init__(self) -> None:
+        self.timelines: List[Tuple[int, PartitionTimeline]] = []
+        self._draft: Optional[_Draft] = None
+
+    def accept(self, record: EventRecord) -> None:
+        """Fold one event into the current iteration's draft."""
+        name = record.kind.name
+        if name == "part.pready":
+            self._stamp(record, "pready")
+        elif name == "part.arrived":
+            self._stamp(record, "arrival")
+        elif name == "bench.part_begin":
+            if self._draft is not None:
+                raise SimulationError(
+                    f"bench.part_begin for iteration "
+                    f"{record.get('iteration')} while iteration "
+                    f"{self._draft.iteration} is still open")
+            self._draft = _Draft(record.get("iteration"),
+                                 record.get("message_bytes"),
+                                 record.get("partitions"), record.time)
+        elif name == "bench.single_begin":
+            self._require(record).single_anchor = record.time
+        elif name == "bench.join":
+            self._require(record).join_abs = record.time
+        elif name == "bench.send_begin":
+            self._require(record).send_start = record.time
+        elif name == "bench.recv_complete":
+            self._finish(record)
+
+    def finalize(self) -> None:
+        """Verify the stream closed its last iteration."""
+        if self._draft is not None:
+            raise SimulationError(
+                f"event stream ended with iteration "
+                f"{self._draft.iteration} still open (no "
+                f"bench.recv_complete)")
+
+    def _require(self, record: EventRecord) -> _Draft:
+        if self._draft is None:
+            raise SimulationError(
+                f"{record.kind.name} outside a benchmark iteration "
+                f"(no bench.part_begin seen)")
+        return self._draft
+
+    def _stamp(self, record: EventRecord, which: str) -> None:
+        draft = self._require(record)
+        partition = record.get("partition")
+        slots = getattr(draft, which)
+        if not (0 <= partition < draft.partitions):
+            raise SimulationError(
+                f"{record.kind.name} names partition {partition} outside "
+                f"[0, {draft.partitions})")
+        if slots[partition] is not None:
+            raise SimulationError(
+                f"duplicate {record.kind.name} for partition {partition} "
+                f"in iteration {draft.iteration}")
+        slots[partition] = record.time
+
+    def _finish(self, record: EventRecord) -> None:
+        draft = self._require(record)
+        missing = [
+            label for label, value in (
+                ("single_anchor", draft.single_anchor),
+                ("join", draft.join_abs),
+                ("send_begin", draft.send_start),
+            ) if value is None
+        ]
+        for which in ("pready", "arrival"):
+            if any(t is None for t in getattr(draft, which)):
+                missing.append(which)
+        if missing:
+            raise SimulationError(
+                f"iteration {draft.iteration} closed with incomplete "
+                f"timeline data: missing {', '.join(missing)}")
+        timeline = PartitionTimeline(
+            message_bytes=draft.message_bytes,
+            pready_times=[t - draft.anchor for t in draft.pready],
+            arrival_times=[t - draft.anchor for t in draft.arrival],
+            join_time=draft.join_abs - draft.single_anchor,
+            pt2pt_time=record.time - draft.send_start,
+        )
+        self.timelines.append((draft.iteration, timeline))
+        self._draft = None

@@ -26,6 +26,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import PartitionError, RequestStateError
+from ..obs.kinds import (PART_ARRIVED, PART_BUFFER_READ, PART_BUFFER_WRITE,
+                         PART_PARRIVED, PART_PREADY,
+                         PART_RECV_EPOCH_COMPLETE, PART_RECV_START,
+                         PART_SEND_EPOCH_COMPLETE, PART_SEND_INJECTED,
+                         PART_SEND_START, PART_START, PART_WAIT)
 from ..sim import Event
 from ..mpi.protocol import Frame, FrameKind
 
@@ -57,6 +62,10 @@ def partition_sizes(nbytes: int, partitions: int) -> List[int]:
 
 class _PartitionedBase:
     """State shared by both sides of a partitioned transfer."""
+
+    #: ``"send"`` or ``"recv"``; set by the concrete subclass and carried
+    #: on every lifecycle event this request emits.
+    side = ""
 
     def __init__(self, proc, comm_id: int, peer_rank: int, tag: int,
                  nbytes: int, partitions: int, impl: str,
@@ -130,23 +139,14 @@ class _PartitionedBase:
             raise RequestStateError(
                 "partition operation outside an active epoch (call start)")
 
-    def _notify_checker(self, hook: str, *args) -> None:
-        """Forward one lifecycle event to the attached dynamic checker.
-
-        A no-op (one attribute test) unless :func:`repro.analysis.
-        enable_checking` installed a checker on this rank's process.
-        """
-        checker = self.proc.checker
-        if checker is not None:
-            getattr(checker, hook)(self, *args)
-
     def wait(self, tc):
         """Generator: complete the current epoch (``MPI_Wait``).
 
         Charges one call overhead, then blocks until every partition of the
         epoch has been transferred; returns the completion time.
         """
-        self._notify_checker("on_wait")
+        self.proc.obs.emit(PART_WAIT, self.sim.now, self.proc.rank,
+                           self.side, self.epoch, self)
         if self._epoch_done is None:
             raise RequestStateError("wait() before start()")
         yield from self.proc._mpi_entry(tc, self.proc.costs.call_overhead)
@@ -166,6 +166,8 @@ class _PartitionedBase:
 class PartitionedSendRequest(_PartitionedBase):
     """Send side: ``psend_init`` → ``start`` → ``pready``* → ``wait``."""
 
+    side = "send"
+
     def __init__(self, proc, comm_id: int, dest: int, tag: int,
                  nbytes: int, partitions: int, impl: str = IMPL_MPIPCL,
                  bufkey: Optional[str] = None):
@@ -181,7 +183,8 @@ class PartitionedSendRequest(_PartitionedBase):
 
     def start(self, tc):
         """Generator: arm a new send epoch."""
-        self._notify_checker("on_start")
+        self.proc.obs.emit(PART_START, self.sim.now, self.proc.rank,
+                           self.side, self.epoch, self)
         yield from self._await_bound()
         self._require_inactive()
         if self._epoch_done is not None and not self._epoch_done.triggered:
@@ -194,8 +197,8 @@ class PartitionedSendRequest(_PartitionedBase):
         cost = (self.proc.costs.start_cost
                 + self.partitions * self.proc.costs.start_cost_per_partition)
         yield from self.proc._mpi_entry(tc, cost)
-        self.proc.trace.emit(self.sim.now, "part.send_start",
-                             rank=self.proc.rank, epoch=self.epoch)
+        self.proc.obs.emit(PART_SEND_START, self.sim.now, self.proc.rank,
+                           self.epoch)
         return self
 
     def pready(self, tc, partition: int):
@@ -206,7 +209,8 @@ class PartitionedSendRequest(_PartitionedBase):
         flag-set plus doorbell.  Either way the calling thread pays the
         buffer-read (hot/cold cache) cost for its partition.
         """
-        self._notify_checker("on_pready", partition)
+        self.proc.obs.emit(PART_PREADY, self.sim.now, self.proc.rank,
+                           partition, self.epoch, self)
         self._check_partition(partition)
         if self._ready[partition]:
             raise RequestStateError(
@@ -236,9 +240,6 @@ class PartitionedSendRequest(_PartitionedBase):
                     + costs.post_cost + params.send_overhead)
             locked = True
         yield from self.proc._mpi_entry(tc, cost, locked=locked)
-        self.proc.trace.emit(self.sim.now, "part.pready",
-                             rank=self.proc.rank, partition=partition,
-                             epoch=self.epoch, nbytes=pbytes)
         eager = self.impl == IMPL_NATIVE or params.is_eager(pbytes)
         if eager:
             frame = Frame(FrameKind.PDATA, self.proc.rank, self.peer_rank,
@@ -284,12 +285,10 @@ class PartitionedSendRequest(_PartitionedBase):
         call this where the write happens; under
         :func:`repro.analysis.enable_checking` a write into a
         partition already marked ready this epoch is reported
-        (rule ``PART004``).  Without a checker attached this is a no-op.
+        (rule ``PART004``).  Without a subscriber the emit is a no-op.
         """
-        self._notify_checker("on_buffer_write", partition)
-        self.proc.trace.emit(self.sim.now, "part.buffer_write",
-                             rank=self.proc.rank, partition=partition,
-                             epoch=self.epoch)
+        self.proc.obs.emit(PART_BUFFER_WRITE, self.sim.now, self.proc.rank,
+                           partition, self.epoch, self)
 
     # -- runtime hooks ----------------------------------------------------
     def _partition_injected(self, epoch: int, partition: int,
@@ -297,17 +296,18 @@ class PartitionedSendRequest(_PartitionedBase):
         if epoch != self.epoch:
             return  # stale completion from an abandoned epoch
         self._injected += 1
-        self.proc.trace.emit(now, "part.send_injected",
-                             rank=self.proc.rank, partition=partition,
-                             epoch=epoch)
+        self.proc.obs.emit(PART_SEND_INJECTED, now, self.proc.rank,
+                           partition, epoch)
         if self._injected == self.partitions:
             self._epoch_done.succeed(now)
-            self.proc.trace.emit(now, "part.send_epoch_complete",
-                                 rank=self.proc.rank, epoch=epoch)
+            self.proc.obs.emit(PART_SEND_EPOCH_COMPLETE, now,
+                               self.proc.rank, epoch)
 
 
 class PartitionedRecvRequest(_PartitionedBase):
     """Receive side: ``precv_init`` → ``start`` → ``parrived``* → ``wait``."""
+
+    side = "recv"
 
     def __init__(self, proc, comm_id: int, source: int, tag: int,
                  nbytes: int, partitions: int, impl: str = IMPL_MPIPCL,
@@ -328,7 +328,8 @@ class PartitionedRecvRequest(_PartitionedBase):
 
     def start(self, tc):
         """Generator: arm a new receive epoch (posts internal receives)."""
-        self._notify_checker("on_start")
+        self.proc.obs.emit(PART_START, self.sim.now, self.proc.rank,
+                           self.side, self.epoch, self)
         yield from self._await_bound()
         self._require_inactive()
         if self._epoch_done is not None and not self._epoch_done.triggered:
@@ -341,8 +342,8 @@ class PartitionedRecvRequest(_PartitionedBase):
         cost = (self.proc.costs.start_cost
                 + self.partitions * self.proc.costs.start_cost_per_partition)
         yield from self.proc._mpi_entry(tc, cost)
-        self.proc.trace.emit(self.sim.now, "part.recv_start",
-                             rank=self.proc.rank, epoch=self.epoch)
+        self.proc.obs.emit(PART_RECV_START, self.sim.now, self.proc.rank,
+                           self.epoch)
         # Reconcile partitions that raced ahead of this start().
         for partition, when, payload in self._early.pop(self.epoch, []):
             self._mark_arrived(partition, when, payload)
@@ -355,7 +356,8 @@ class PartitionedRecvRequest(_PartitionedBase):
         an inactive request that has completed an epoch (MPI 4.0 §4.2.3:
         the flag is then true).
         """
-        self._notify_checker("on_parrived", partition)
+        self.proc.obs.emit(PART_PARRIVED, self.sim.now, self.proc.rank,
+                           partition, self.epoch, self)
         if not (0 <= partition < self.partitions):
             raise PartitionError(
                 f"partition {partition} out of range "
@@ -394,12 +396,10 @@ class PartitionedRecvRequest(_PartitionedBase):
         partition before it has actually arrived reads garbage.  Under
         :func:`repro.analysis.enable_checking` a read of a
         partition that has not landed this epoch is reported
-        (rule ``PART005``).  Without a checker attached this is a no-op.
+        (rule ``PART005``).  Without a subscriber the emit is a no-op.
         """
-        self._notify_checker("on_buffer_read", partition)
-        self.proc.trace.emit(self.sim.now, "part.buffer_read",
-                             rank=self.proc.rank, partition=partition,
-                             epoch=self.epoch)
+        self.proc.obs.emit(PART_BUFFER_READ, self.sim.now, self.proc.rank,
+                           partition, self.epoch, self)
 
     # -- runtime hooks ----------------------------------------------------
     def _partition_arrived(self, epoch: int, partition: int, now: float,
@@ -416,17 +416,18 @@ class PartitionedRecvRequest(_PartitionedBase):
         self._mark_arrived(partition, now, payload)
 
     def _mark_arrived(self, partition: int, now: float, payload: Any) -> None:
-        self._notify_checker("on_partition_arrived", partition, now)
+        # Early-arrival replays pass a past ``now``, so arrival records can
+        # carry timestamps behind the clock; sinks order by emission, not
+        # by time.
+        self.proc.obs.emit(PART_ARRIVED, now, self.proc.rank, partition,
+                           self.epoch, self.sizes[partition], self)
         ev = self._arrived_events[partition]
         if ev.triggered:
             raise RequestStateError(
                 f"partition {partition} arrived twice in epoch {self.epoch}")
         ev.succeed((now, payload))
         self._arrived += 1
-        self.proc.trace.emit(now, "part.arrived", rank=self.proc.rank,
-                             partition=partition, epoch=self.epoch,
-                             nbytes=self.sizes[partition])
         if self._arrived == self.partitions:
             self._epoch_done.succeed(now)
-            self.proc.trace.emit(now, "part.recv_epoch_complete",
-                                 rank=self.proc.rank, epoch=self.epoch)
+            self.proc.obs.emit(PART_RECV_EPOCH_COMPLETE, now,
+                               self.proc.rank, self.epoch)

@@ -6,12 +6,11 @@ The kernel provides:
 * :class:`Process` / :class:`Event` / :class:`Timeout` — coroutine plumbing.
 * :class:`Resource` / :class:`Mutex` / :class:`Store` — contended objects.
 * :class:`RandomStreams` — named, reproducible RNG streams.
-* :class:`TraceRecorder` — timestamped event logs that metrics are computed
-  from.
 
 Everything above the kernel (machine, network, MPI runtime) is expressed in
 terms of these primitives, so the entire benchmark suite is deterministic
-given a master seed.
+given a master seed.  Instrumentation lives one layer up, in
+:mod:`repro.obs`.
 """
 
 from .core import (
@@ -25,7 +24,6 @@ from .core import (
 )
 from .resources import Mutex, MutexStats, Resource, Store
 from .rng import RandomStreams
-from .trace import TraceRecord, TraceRecorder
 
 __all__ = [
     "AllOf",
@@ -40,6 +38,4 @@ __all__ = [
     "Resource",
     "Store",
     "RandomStreams",
-    "TraceRecord",
-    "TraceRecorder",
 ]

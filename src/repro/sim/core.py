@@ -370,7 +370,7 @@ class Simulator:
     ----------
     trace:
         Optional callable ``trace(time, event)`` invoked for every processed
-        event; used by :mod:`repro.sim.trace` to record schedules.
+        event; a kernel-level debugging hook for recording raw schedules.
     """
 
     def __init__(self, trace: Optional[Callable[[float, Event], None]] = None):

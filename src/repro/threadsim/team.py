@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 from ..errors import SimulationError
 from ..machine import ThreadBinding, scaled_compute_time
+from ..obs.kinds import TEAM_JOIN, THREAD_COMPUTED
 from ..sim import AllOf, Process, Simulator
 from .openmp import DEFAULT_OPENMP_COSTS, OpenMPCosts
 
@@ -62,9 +63,8 @@ class ThreadContext:
                                    self.rank_ctx.spec)
         if wall > 0:
             yield self.sim.timeout(wall)
-        self.rank_ctx.trace.emit(self.sim.now, "thread.computed",
-                                 rank=self.rank, thread=self.thread_id,
-                                 nominal=seconds, wall=wall)
+        self.rank_ctx.obs.emit(THREAD_COMPUTED, self.sim.now, self.rank,
+                               self.thread_id, seconds, wall)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ThreadContext rank={self.rank} tid={self.thread_id} "
@@ -117,9 +117,8 @@ class ThreadTeam:
         yield AllOf(sim, [p for p in self.processes])
         yield sim.timeout(self.omp_costs.join_cost(self.nthreads))
         self.joined_at = sim.now
-        self.rank_ctx.trace.emit(sim.now, "team.join",
-                                 rank=self.rank_ctx.rank, team=self.name,
-                                 nthreads=self.nthreads)
+        self.rank_ctx.obs.emit(TEAM_JOIN, sim.now, self.rank_ctx.rank,
+                               self.name, self.nthreads)
         return self.joined_at
 
     def results(self) -> List[Any]:

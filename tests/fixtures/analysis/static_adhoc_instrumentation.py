@@ -1,0 +1,9 @@
+"""Static fixture: event recording that bypasses repro.obs (SIM107)."""
+
+
+def measure_partitions(ctx, ps, n):
+    stamps = [0.0] * n
+    for p in range(n):
+        stamps[p] = ctx.sim.now  # hazard: hand-built timestamp table
+        yield from ps.pready(ctx.main, p)
+    return stamps

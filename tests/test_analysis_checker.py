@@ -58,7 +58,11 @@ class TestEnableChecking:
         cluster = Cluster(nranks=2)
         checker = enable_checking(cluster)
         assert cluster.checker is checker
-        assert all(p.checker is checker for p in cluster.procs)
+        # The checker is an ordinary sink subscribed to every part.* kind.
+        for name in ("part.init", "part.start", "part.wait", "part.pready",
+                     "part.arrived", "part.buffer_write"):
+            kind = cluster.obs.schema.kind(name)
+            assert cluster.obs.subscribed(kind)
         assert cluster.sim.monitor is checker.monitor
 
     def test_checking_does_not_perturb_schedule(self):

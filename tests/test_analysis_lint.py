@@ -18,6 +18,7 @@ STATIC_CASES = [
     ("static_mutable_default.py", "SIM104"),
     ("static_bare_yield.py", "SIM105"),
     ("static_lock_block.py", "SIM106"),
+    ("static_adhoc_instrumentation.py", "SIM107"),
 ]
 
 

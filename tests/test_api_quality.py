@@ -17,7 +17,7 @@ import repro
 PACKAGES = [
     "repro", "repro.sim", "repro.machine", "repro.network", "repro.mpi",
     "repro.partitioned", "repro.threadsim", "repro.noise", "repro.metrics",
-    "repro.core", "repro.patterns", "repro.proxy",
+    "repro.core", "repro.patterns", "repro.proxy", "repro.obs",
 ]
 
 

@@ -45,7 +45,7 @@ class TestCancel:
         results = Cluster(nranks=2).run(program)
         assert results[0] == "late"
 
-    def test_cancel_emits_trace(self):
+    def test_cancel_emits_event(self):
         def program(ctx):
             if ctx.rank == 0:
                 req = yield from ctx.comm.irecv(ctx.main, 1, 7, 64)
@@ -53,5 +53,6 @@ class TestCancel:
             yield ctx.sim.timeout(1e-6)
 
         cluster = Cluster(nranks=2)
+        mem = cluster.obs.record("recv.cancelled")
         cluster.run(program)
-        assert cluster.trace.filter("recv.cancelled", tag=7)
+        assert mem.filter("recv.cancelled", tag=7)

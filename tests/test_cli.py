@@ -160,3 +160,59 @@ class TestAnalysisCommands:
         code = main(["check", "no/such/program.py"])
         assert code == 2
         assert "no such program file" in capsys.readouterr().err
+
+
+_TRACE_ARGS = ["--message-bytes", "4096", "--partitions", "2",
+               "--compute-ms", "0.1", "--iterations", "2"]
+
+
+class TestTraceCommands:
+    def test_trace_export_jsonl_to_stdout(self, capsys):
+        code = main(["trace", "export", *_TRACE_ARGS,
+                     "--kinds", "part.pready,part.arrived"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().split("\n")
+        parsed = [json.loads(line) for line in lines]
+        assert {p["kind"] for p in parsed} == {"part.pready",
+                                               "part.arrived"}
+        assert all("t" in p and "rank" in p for p in parsed)
+
+    def test_trace_export_chrome_to_file(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        code = main(["trace", "export", *_TRACE_ARGS,
+                     "--format", "chrome", "--kinds", "part.*,bench.*",
+                     "-o", str(out)])
+        assert code == 0
+        assert "stream digest" in capsys.readouterr().out
+        trace = json.loads(out.read_text())
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert phases == {"M", "i"}
+
+    def test_trace_export_unknown_kind_exits_two(self, capsys):
+        code = main(["trace", "export", *_TRACE_ARGS,
+                     "--kinds", "part.*,bogus.*"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown event kind" in err and "bogus.*" in err
+
+    def test_report_text(self, capsys):
+        code = main(["report", *_TRACE_ARGS])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "event counts" in out
+        assert "event stream digest:" in out
+
+    def test_report_json(self, capsys):
+        code = main(["report", *_TRACE_ARGS, "--format", "json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["event_digest"]) == 64
+        assert data["event_counts"]
+        assert [r["rank"] for r in data["ranks"]] == [0, 1]
+        assert all(r["events_observed"] > 0 for r in data["ranks"])
+
+    def test_report_unknown_kind_exits_two(self, capsys):
+        code = main(["report", *_TRACE_ARGS, "--kinds", "nope"])
+        assert code == 2
+        assert "unknown event kind" in capsys.readouterr().err

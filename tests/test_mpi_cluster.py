@@ -128,8 +128,9 @@ class TestRankContextHelpers:
         expected = 2 * NIAGARA_NODE.llc_bytes / NIAGARA_NODE.memory_bandwidth
         assert cost == pytest.approx(expected)
 
-    def test_trace_shared_across_ranks(self):
+    def test_event_bus_shared_across_ranks(self):
         cluster = Cluster(nranks=2)
+        mem = cluster.obs.record("send.complete", "recv.complete")
 
         def program(ctx):
             if ctx.rank == 0:
@@ -138,8 +139,8 @@ class TestRankContextHelpers:
                 yield from ctx.comm.recv(ctx.main, 0, 1, 64)
 
         cluster.run(program)
-        assert cluster.trace.filter("send.complete")
-        assert cluster.trace.filter("recv.complete")
+        assert mem.filter("send.complete")
+        assert mem.filter("recv.complete")
 
 
 class TestSeedReproducibility:

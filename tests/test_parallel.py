@@ -95,6 +95,14 @@ class TestParallelEquivalence:
         parallel = sweep_ptp(base, SIZES, COUNTS, jobs=4)
         for metric in METRIC_NAMES:
             assert serial.series(metric) == parallel.series(metric)
+        # Not just metric-identical: the *full instrumentation streams*
+        # (every event, in order, with bit-exact timestamps) match.
+        for m in SIZES:
+            for n in COUNTS:
+                s = serial.point(m, n).result
+                p = parallel.point(m, n).result
+                assert s.event_digest is not None
+                assert s.event_digest == p.event_digest
 
     def test_parallel_samples_match_exactly(self):
         base = _base(noise=UniformNoise(4.0), seed=11)
@@ -153,6 +161,12 @@ class TestResultCache:
         assert second.stats.cache_hits == 4
         for metric in METRIC_NAMES:
             assert second.series(metric) == first.series(metric)
+        for m in SIZES:
+            for n in COUNTS:
+                fresh = first.point(m, n).result
+                cached = second.point(m, n).result
+                assert fresh.event_digest is not None
+                assert cached.event_digest == fresh.event_digest
 
     def test_config_change_invalidates(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -315,9 +315,11 @@ class TestImplementationDifferences:
         _run(make(IMPL_NATIVE))
         assert times[IMPL_NATIVE] < times[IMPL_MPIPCL]
 
-    def test_trace_events_emitted(self):
-        cluster, _ = _run(_basic_transfer(IMPL_MPIPCL))
-        assert len(cluster.trace.filter("part.pready")) == 4
-        assert len(cluster.trace.filter("part.arrived")) == 4
-        assert cluster.trace.first("part.pready").time <= \
-            cluster.trace.first("part.arrived").time
+    def test_obs_events_emitted(self):
+        cluster = Cluster(nranks=2)
+        mem = cluster.obs.record("part.pready", "part.arrived")
+        cluster.run(_basic_transfer(IMPL_MPIPCL))
+        assert len(mem.filter("part.pready")) == 4
+        assert len(mem.filter("part.arrived")) == 4
+        assert mem.first("part.pready").time <= \
+            mem.first("part.arrived").time

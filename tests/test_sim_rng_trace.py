@@ -1,8 +1,8 @@
-"""Unit tests for RNG streams and the trace recorder."""
+"""Unit tests for RNG streams."""
 
 import numpy as np
 
-from repro.sim import RandomStreams, TraceRecorder
+from repro.sim import RandomStreams
 
 
 class TestRandomStreams:
@@ -46,54 +46,3 @@ class TestRandomStreams:
         a = RandomStreams(0).spawn("c").stream("x").uniform(size=5)
         b = RandomStreams(0).spawn("c").stream("x").uniform(size=5)
         assert np.array_equal(a, b)
-
-
-class TestTraceRecorder:
-    def test_emit_and_filter(self):
-        tr = TraceRecorder()
-        tr.emit(1.0, "a", rank=0)
-        tr.emit(2.0, "b", rank=0)
-        tr.emit(3.0, "a", rank=1)
-        assert len(tr) == 3
-        assert [r.time for r in tr.filter("a")] == [1.0, 3.0]
-        assert [r.time for r in tr.filter("a", rank=1)] == [3.0]
-
-    def test_times_first_last(self):
-        tr = TraceRecorder()
-        for t in (5.0, 1.0, 3.0):
-            tr.emit(t, "x")
-        assert tr.times("x") == [5.0, 1.0, 3.0]
-        assert tr.first("x").time == 1.0
-        assert tr.last("x").time == 5.0
-
-    def test_first_on_missing_kind_is_none(self):
-        assert TraceRecorder().first("nothing") is None
-
-    def test_span(self):
-        tr = TraceRecorder()
-        tr.emit(1.0, "start")
-        tr.emit(4.0, "end")
-        tr.emit(2.0, "end")
-        assert tr.span("start", "end") == (1.0, 4.0)
-        assert tr.span("start", "missing") is None
-
-    def test_disable_enable(self):
-        tr = TraceRecorder()
-        tr.disable()
-        tr.emit(1.0, "x")
-        assert len(tr) == 0
-        tr.enable()
-        tr.emit(2.0, "x")
-        assert len(tr) == 1
-
-    def test_clear(self):
-        tr = TraceRecorder()
-        tr.emit(1.0, "x")
-        tr.clear()
-        assert len(tr) == 0
-
-    def test_iteration(self):
-        tr = TraceRecorder()
-        tr.emit(1.0, "x")
-        tr.emit(2.0, "y")
-        assert [r.kind for r in tr] == ["x", "y"]
