@@ -96,7 +96,7 @@ class RankContext:
         """
         binding = bind_threads(nthreads, self.spec,
                                policy or self.cluster.bind_policy)
-        yield self.sim.timeout(self.cluster.omp_costs.fork_cost(nthreads))
+        yield self.sim.sleep(self.cluster.omp_costs.fork_cost(nthreads))
         team = ThreadTeam(self, binding, worker,
                           omp_costs=self.cluster.omp_costs)
         self.obs.emit(TEAM_FORK, self.sim.now, self.rank, nthreads)
@@ -117,11 +117,11 @@ class RankContext:
         the 8 MB scratch buffer, as the SMB-derived method does.
         """
         cost = self.proc.cache.invalidate()
-        yield self.sim.timeout(cost)
+        yield self.sim.sleep(cost)
 
     def elapse(self, seconds: float):
         """Generator: idle this rank's main thread for ``seconds``."""
-        yield self.sim.timeout(seconds)
+        yield self.sim.sleep(seconds)
 
 
 class Cluster:

@@ -110,13 +110,13 @@ class MPIProcess:
                     hold = self.costs.lock_hold
                     if self.spec.is_remote_to_nic(tc.core):
                         hold += self.costs.lock_remote_penalty
-                    yield self.sim.timeout(cost + penalty + hold)
+                    yield self.sim.sleep(cost + penalty + hold)
                 finally:
                     self.lock.release()
             else:
                 total = cost + penalty
                 if total > 0:
-                    yield self.sim.timeout(total)
+                    yield self.sim.sleep(total)
         finally:
             self._in_mpi -= 1
 
@@ -154,7 +154,7 @@ class MPIProcess:
         """Generator: charge a progress-engine cost under contention."""
         scaled = cost * self.progress_multiplier()
         if scaled > 0:
-            yield self.sim.timeout(scaled)
+            yield self.sim.sleep(scaled)
 
     def transmit(self, dst_rank: int, wire_bytes: int, frame: Frame,
                  data: bool = True) -> Transmission:
@@ -203,7 +203,7 @@ class MPIProcess:
             key = bufkey or f"r{self.rank}.c{comm_id}.t{tag}.send"
             copy = self.cache.access_time(key, nbytes)
             if copy > 0:
-                yield self.sim.timeout(copy)
+                yield self.sim.sleep(copy)
         cost = (self.costs.call_overhead + self.costs.post_cost
                 + params.send_overhead)
         yield from self._mpi_entry(tc, cost)
@@ -237,7 +237,7 @@ class MPIProcess:
                                                         comm_id)
             self.obs.emit(RECV_POST, self.sim.now, self.rank, source, tag)
             if scanned:
-                yield self.sim.timeout(scanned * self._match_cost)
+                yield self.sim.sleep(scanned * self._match_cost)
             return req
         frame: Frame = entry.frame
         params = self.fabric.params_between(frame.src_rank, self.rank)
@@ -246,13 +246,13 @@ class MPIProcess:
             self._check_truncation(req, frame)
             cost += params.recv_overhead
             cost += self.cache.access_time(req.bufkey, frame.nbytes)
-            yield self.sim.timeout(cost)
+            yield self.sim.sleep(cost)
             self._complete_recv(req, frame.envelope, frame.nbytes,
                                 frame.payload)
         else:  # RTS waiting in the unexpected queue
             self._check_truncation(req, frame)
             req._pending_envelope = frame.envelope
-            yield self.sim.timeout(cost + self.costs.post_cost)
+            yield self.sim.sleep(cost + self.costs.post_cost)
             cts = Frame(FrameKind.CTS, self.rank, frame.src_rank,
                         nbytes=frame.nbytes, sreq=frame.sreq, rreq=req)
             self.transmit(frame.src_rank, 0, cts)

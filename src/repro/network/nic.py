@@ -118,7 +118,7 @@ class NIC:
             start = self.sim.now
             self.obs.emit(NIC_TX_START, start, self.rank, tx.dst_rank,
                           tx.nbytes)
-            yield self.sim.timeout(tx.gap + tx.wire_time)
+            yield self.sim.sleep(tx.gap + tx.wire_time)
             self.stats.messages += 1
             self.stats.bytes += tx.nbytes
             self.stats.busy_time += self.sim.now - start

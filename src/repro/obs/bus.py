@@ -22,16 +22,29 @@ from .sinks import MemorySink, Sink
 
 __all__ = ["EventBus"]
 
+#: Truthy marker stored in ``EventBus._raw_by_kind`` when at least one of
+#: a kind's sinks needs a built :class:`EventRecord`.  Falsy entries mean
+#: "no subscribers", so the disabled emit path stays a single index plus
+#: one falsy test.
+_RECORD_PATH = ("record-path",)
+
 
 class EventBus:
     """Dispatches :class:`~repro.obs.record.EventRecord` to subscribed sinks."""
 
-    __slots__ = ("schema", "_by_kind", "_subs")
+    __slots__ = ("schema", "_by_kind", "_raw_by_kind", "_subs")
 
     def __init__(self, schema: Optional[EventSchema] = None) -> None:
         self.schema = schema if schema is not None else SCHEMA
         self._by_kind: List[List[Sink]] = [[] for _ in
                                            range(len(self.schema))]
+        # Per kind: tuple of bound ``accept_raw`` methods when *every*
+        # subscriber supports the record-free path (empty tuple = no
+        # subscribers), or the _RECORD_PATH marker when at least one sink
+        # needs a built EventRecord.  Kept in lockstep with _by_kind by
+        # _refresh_raw.
+        self._raw_by_kind: List[tuple] = [() for _ in
+                                          range(len(self.schema))]
         self._subs: List[Tuple[Sink, Tuple[EventKind, ...]]] = []
 
     def attach(self, sink: Sink, patterns=("*",)) -> Sink:
@@ -44,6 +57,7 @@ class EventBus:
         kinds = tuple(self.schema.resolve(patterns))
         for kind in kinds:
             self._ensure(kind.id).append(sink)
+            self._refresh_raw(kind.id)
         self._subs.append((sink, kinds))
         return sink
 
@@ -55,7 +69,19 @@ class EventBus:
                     lst = self._ensure(kind.id)
                     while sink in lst:
                         lst.remove(sink)
+                    self._refresh_raw(kind.id)
         self._subs = [(s, k) for s, k in self._subs if s is not sink]
+
+    def _refresh_raw(self, kind_id: int) -> None:
+        """Recompute the raw-dispatch entry for one kind."""
+        raws = []
+        for sink in self._by_kind[kind_id]:
+            fn = getattr(sink, "accept_raw", None)
+            if fn is None:
+                self._raw_by_kind[kind_id] = _RECORD_PATH
+                return
+            raws.append(fn)
+        self._raw_by_kind[kind_id] = tuple(raws)
 
     def record(self, *patterns: str) -> MemorySink:
         """Attach and return a fresh :class:`MemorySink` for ``patterns``.
@@ -75,20 +101,27 @@ class EventBus:
         """Deliver one event to the sinks subscribed to ``kind``.
 
         The disabled fast path — no subscriber for this kind — is a list
-        index plus a falsy check; the record object is only built when a
-        sink will actually see it.
+        index plus a falsy check.  When every subscriber implements
+        ``accept_raw`` (e.g. a lone :class:`~repro.obs.sinks.DigestSink`),
+        the payload is handed over as ``(time, kind, values)`` and no
+        :class:`EventRecord` is allocated; otherwise the record object is
+        built once and shared by every sink.
         """
         try:
-            sinks = self._by_kind[kind.id]
+            raw = self._raw_by_kind[kind.id]
         except IndexError:
             # Kind registered after this bus was built; nothing can have
             # subscribed to it yet.
             self._ensure(kind.id)
             return
-        if not sinks:
+        if not raw:
+            return
+        if raw is not _RECORD_PATH:
+            for fn in raw:
+                fn(time, kind, values)
             return
         record = EventRecord(time, kind, values)
-        for sink in sinks:
+        for sink in self._by_kind[kind.id]:
             sink.accept(record)
 
     def finalize(self) -> None:
@@ -103,4 +136,5 @@ class EventBus:
     def _ensure(self, kind_id: int) -> List[Sink]:
         while len(self._by_kind) <= kind_id:
             self._by_kind.append([])
+            self._raw_by_kind.append(())
         return self._by_kind[kind_id]

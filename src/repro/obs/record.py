@@ -16,6 +16,10 @@ from .schema import EventKind
 
 __all__ = ["EventRecord"]
 
+#: Bypass for the immutability guard below — one record is built per
+#: subscribed emission, so the three stores in ``__init__`` are hot.
+_set = object.__setattr__
+
 
 class EventRecord:
     """One immutable event: ``(time, kind, values)``.
@@ -27,9 +31,9 @@ class EventRecord:
     __slots__ = ("time", "kind", "values")
 
     def __init__(self, time: float, kind: EventKind, values: Tuple):
-        object.__setattr__(self, "time", time)
-        object.__setattr__(self, "kind", kind)
-        object.__setattr__(self, "values", values)
+        _set(self, "time", time)
+        _set(self, "kind", kind)
+        _set(self, "values", values)
 
     def __setattr__(self, name, value):
         raise AttributeError(

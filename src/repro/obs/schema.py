@@ -41,7 +41,7 @@ class EventKind:
     """
 
     __slots__ = ("id", "name", "fields", "internal", "doc", "wire_fields",
-                 "_wire_index")
+                 "_canon_name", "_canon_prefixes", "_wire_index")
 
     def __init__(self, kind_id: int, name: str, fields: Sequence[str],
                  internal: Sequence[str], doc: str):
@@ -52,6 +52,12 @@ class EventKind:
         object.__setattr__(self, "doc", doc)
         object.__setattr__(self, "wire_fields", tuple(
             f for f in fields if f not in self.internal))
+        # Precomputed separator-carrying fragments of the canonical wire
+        # format ("|<name>", "|<field>="), so serialization concatenates
+        # instead of re-formatting per record.
+        object.__setattr__(self, "_canon_name", "|" + name)
+        object.__setattr__(self, "_canon_prefixes", tuple(
+            "|" + f + "=" for f in self.wire_fields))
         object.__setattr__(self, "_wire_index", tuple(
             i for i, f in enumerate(fields) if f not in self.internal))
 

@@ -19,7 +19,15 @@ __all__ = ["Sink", "MemorySink", "CounterSink", "DigestSink",
 
 
 class Sink:
-    """Base class for event consumers; subclasses override :meth:`accept`."""
+    """Base class for event consumers; subclasses override :meth:`accept`.
+
+    The base class declares empty ``__slots__`` so the built-in sinks can
+    be fully slotted (accept() runs once per subscribed event);
+    subclasses that don't declare ``__slots__`` get a ``__dict__`` as
+    usual.
+    """
+
+    __slots__ = ()
 
     def accept(self, record: EventRecord) -> None:
         """Receive one event record (emission order is guaranteed)."""
@@ -34,6 +42,8 @@ class MemorySink(Sink):
     Replaces the query surface of the old ``TraceRecorder``: filter by
     kind name and payload fields, pull timestamps, or bracket a span.
     """
+
+    __slots__ = ("records",)
 
     def __init__(self) -> None:
         self.records: List[EventRecord] = []
@@ -96,6 +106,8 @@ class CounterSink(Sink):
     ``nbytes`` field additionally land in a power-of-two size histogram.
     """
 
+    __slots__ = ("counts", "histograms", "total")
+
     def __init__(self) -> None:
         self.counts: Dict[Tuple[str, int], int] = {}
         self.histograms: Dict[str, Dict[int, int]] = {}
@@ -137,27 +149,78 @@ class CounterSink(Sink):
                 for b, n in sorted(hist.items())]
 
 
+def _serialize_block(triples) -> str:
+    """The exact canonical byte stream for ``(time, kind, values)``
+    triples: one ``canonical_line`` per triple, each newline-terminated.
+
+    Batch form so :class:`DigestSink` pays the setup (local bindings,
+    output list, caches) once per block instead of once per record; the
+    per-line format is the contract :func:`canonical_line` documents.
+    Two caches amortize the expensive string formatting without changing
+    a single output byte:
+
+    * the previous timestamp's hex string is reused when the next triple
+      carries the *same float object* (``is`` check — bursts of events at
+      one sim instant share the clock object, and identity can never
+      conflate ``0.0`` with ``-0.0`` the way ``==`` would);
+    * ``(prefix, value)`` fragments for exact ``int``/``str`` payloads
+      (ranks, byte counts, tags — the overwhelming majority) are memoized
+      per block.  ``bool`` never enters the cache (its class is ``bool``,
+      not ``int``), so ``True`` cannot alias a cached ``1``.
+    """
+    out: List[str] = []
+    append = out.append
+    frags: Dict[Tuple[str, Any], str] = {}
+    frag_get = frags.get
+    last_time: Any = None
+    last_hex = ""
+    for time, kind, values in triples:
+        if time is last_time:
+            append(last_hex)
+        else:
+            last_time = time
+            last_hex = (time.hex() if time.__class__ is float
+                        else (format(time, "x") if isinstance(time, int)
+                              else float(time).hex()))
+            append(last_hex)
+        append(kind._canon_name)
+        idx = kind._wire_index
+        if len(values) != len(idx):
+            values = [values[i] for i in idx]
+        # Exact-class checks first, most common type (int payloads:
+        # ranks, byte counts, partition indices) leading; the isinstance
+        # chain keeps subclasses such as numpy scalars rendering exactly
+        # as plain repr()/hex() dispatch would.
+        for prefix, value in zip(kind._canon_prefixes, values):
+            cls = value.__class__
+            if cls is int or cls is str:
+                key = (prefix, value)
+                frag = frag_get(key)
+                if frag is None:
+                    frags[key] = frag = prefix + repr(value)
+                append(frag)
+            elif cls is float:
+                append(prefix + value.hex())
+            elif cls is bool or isinstance(value, bool):
+                append(prefix + ("true" if value else "false"))
+            elif isinstance(value, float):
+                append(prefix + value.hex())
+            else:
+                append(prefix + repr(value))
+        append("\n")
+    return "".join(out)
+
+
 def canonical_line(record: EventRecord) -> str:
     """Bit-stable one-line serialization of a record's wire fields.
 
-    Floats render via ``float.hex()`` so the representation is exact —
-    the digest over these lines is what the serial / ``--jobs N`` /
-    cached bit-identity tests compare.
+    ``<time>|<kind>|<field>=<value>|...`` — floats render via
+    ``float.hex()`` so the representation is exact; the digest over these
+    lines is what the serial / ``--jobs N`` / cached bit-identity tests
+    compare.
     """
-    parts = [format(record.time, "x")
-             if isinstance(record.time, int)
-             else float(record.time).hex(),
-             record.kind.name]
-    for field, value in zip(record.kind.wire_fields,
-                            record.kind.wire_values(record.values)):
-        if isinstance(value, bool):
-            text = "true" if value else "false"
-        elif isinstance(value, float):
-            text = value.hex()
-        else:
-            text = repr(value)
-        parts.append(f"{field}={text}")
-    return "|".join(parts)
+    return _serialize_block(
+        ((record.time, record.kind, record.values),))[:-1]
 
 
 class DigestSink(Sink):
@@ -168,16 +231,47 @@ class DigestSink(Sink):
     serial, parallel, and cached sweeps observe the same events.
     """
 
+    __slots__ = ("_hash", "_pending", "count")
+
     def __init__(self) -> None:
         self._hash = hashlib.sha256()
+        self._pending: List[Tuple[Any, Any, Tuple]] = []
         self.count = 0
 
     def accept(self, record: EventRecord) -> None:
-        """Fold the record's canonical line into the digest."""
-        self._hash.update(canonical_line(record).encode("utf-8"))
-        self._hash.update(b"\n")
+        """Fold the record's canonical line into the digest.
+
+        Events are buffered and serialized in blocks — the byte stream
+        hashed is identical to hashing each canonical line (plus newline)
+        individually, so the digest value is unchanged, but the
+        per-record cost drops to a list append.  Payload tuples are
+        immutable, so deferring serialization cannot change what is
+        hashed.
+        """
+        self._pending.append((record.time, record.kind, record.values))
         self.count += 1
+        if len(self._pending) >= 512:
+            self._fold()
+
+    def accept_raw(self, time: float, kind, values: Tuple) -> None:
+        """Record-free fast path: same stream bytes, no
+        :class:`EventRecord` allocation (see ``EventBus.emit``)."""
+        self._pending.append((time, kind, values))
+        self.count += 1
+        if len(self._pending) >= 512:
+            self._fold()
+
+    def _fold(self) -> None:
+        pending = self._pending
+        if pending:
+            self._hash.update(_serialize_block(pending).encode("utf-8"))
+            del pending[:]
+
+    def finalize(self) -> None:
+        """Fold any buffered lines once the stream ends."""
+        self._fold()
 
     def hexdigest(self) -> str:
         """Digest of everything accepted so far."""
+        self._fold()
         return self._hash.hexdigest()

@@ -235,7 +235,7 @@ class PartitionedSendRequest(_PartitionedBase):
                 copy = self.proc.cache.access_time(
                     f"{self.bufkey}.p{partition}", pbytes)
                 if copy > 0:
-                    yield self.sim.timeout(copy)
+                    yield self.sim.sleep(copy)
             cost = (costs.pready_cost + costs.call_overhead
                     + costs.post_cost + params.send_overhead)
             locked = True

@@ -13,6 +13,28 @@ queue breaks time ties with a monotonically increasing sequence number, so
 insertion order is the tie-break and no ordering ever depends on hash
 randomization or object identity.
 
+Hot-path anatomy
+----------------
+Three coordinated fast paths keep per-event cost low without changing any
+observable ordering (the instrumentation digests of
+:mod:`repro.obs` are bit-identical with and without them):
+
+* **Immediate-event ring** — events scheduled at the current time (every
+  :meth:`Event.succeed` hand-off, process kick-offs, interrupts, store
+  wake-ups) go to FIFO deques drained ahead of the heap, skipping the
+  ``heappush``/``heappop`` pair while preserving the exact
+  ``(time, priority, seq)`` tie-break order.  Future events are
+  time-bucketed: the heap orders unique float timestamps and a deque per
+  timestamp keeps same-time events in seq order for free.
+* **Allocation-free sleeps** — :meth:`Simulator.sleep` recycles
+  kernel-owned :class:`Timeout` objects through a free list, so the
+  dominant fire-and-forget delays (compute time, NIC gaps) allocate
+  nothing in steady state.
+* **Single-waiter dispatch** — ``Event._callbacks`` holds a bare callable
+  for the overwhelmingly common sole-waiter case and is only promoted to
+  a list on the second subscriber, eliminating a list allocation plus an
+  iteration per processed event.
+
 Example
 -------
 >>> sim = Simulator()
@@ -29,6 +51,7 @@ Example
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -53,6 +76,8 @@ _PENDING = object()
 #: sentinel instead of an empty list avoids one list allocation per event
 #: on the kernel's hottest path.
 _NO_WAITERS = object()
+
+_INF = float("inf")
 
 
 class Interrupt(Exception):
@@ -82,8 +107,9 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        #: Waiter list states: :data:`_NO_WAITERS` (nothing registered yet),
-        #: a list (registered callbacks), or ``None`` (processed).
+        #: Waiter states: :data:`_NO_WAITERS` (nothing registered yet), a
+        #: bare callable (exactly one waiter — the common case), a list
+        #: (two or more waiters), or ``None`` (processed).
         self._callbacks: Any = _NO_WAITERS
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
@@ -95,12 +121,16 @@ class Event:
         """Callables ``cb(event)`` invoked when the event is processed.
 
         ``None`` once the event has been processed.  The list is
-        materialized lazily on first access so events nothing ever waits on
-        (the common fate of a :class:`Timeout`) never allocate one.
+        materialized lazily on first access — events nothing ever waits on
+        (the common fate of a :class:`Timeout`) never allocate one, and a
+        sole waiter is stored as a bare callable until a second subscriber
+        forces promotion.
         """
         cbs = self._callbacks
         if cbs is _NO_WAITERS:
             cbs = self._callbacks = []
+        elif cbs is not None and type(cbs) is not list:
+            cbs = self._callbacks = [cbs]
         return cbs
 
     # -- state ----------------------------------------------------------
@@ -135,7 +165,13 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self)
+        # Inlined zero-delay _schedule: the already-triggered guard above
+        # subsumes the double-schedule check, so a succeed() hand-off is a
+        # seq bump plus one ring append.
+        self._scheduled = True
+        sim = self.sim
+        seq = sim._seq = sim._seq + 1
+        sim._ring.append((seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -171,13 +207,56 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = float(delay)
+        if not (0.0 <= delay < _INF):
+            # A NaN delay fails both comparisons; inf fails the second.
+            # Either would silently corrupt the heap's total order.
+            raise SimulationError(
+                f"timeout delay must be finite and non-negative: {delay!r}")
+        # Event.__init__ and _schedule inlined: a timeout is born triggered
+        # and scheduled, so the construction path is pure attribute stores
+        # plus one ring append / heap push.
+        self.sim = sim
+        self._callbacks = _NO_WAITERS
         self._ok = True
+        self._scheduled = True
+        self._defused = False
+        if delay.__class__ is not float:
+            delay = float(delay)
+        self.delay = delay
         self._value = value
-        sim._schedule(self, delay=self.delay)
+        seq = sim._seq = sim._seq + 1
+        if delay == 0.0:
+            sim._ring.append((seq, self))
+        else:
+            when = sim._now + delay
+            buckets = sim._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = (seq, self)
+                heappush(sim._queue, when)
+            elif bucket.__class__ is tuple:
+                buckets[when] = deque((bucket, (seq, self)))
+            else:
+                bucket.append((seq, self))
+
+
+class _Sleep(Timeout):
+    """A kernel-owned, recycled timeout (see :meth:`Simulator.sleep`).
+
+    Instances live on the simulator's free list between uses, so the
+    contract is strict: a sleep event must be yielded immediately by the
+    process that created it and never stored, composed into a condition,
+    or inspected after it fires — the kernel resets its state the moment
+    its callbacks have run.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator"):
+        Event.__init__(self, sim)
+        self.delay = 0.0
+        self._ok = True
+        self._scheduled = True
 
 
 class _Initialize(Event):
@@ -186,10 +265,18 @@ class _Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator"):
-        super().__init__(sim)
-        self._ok = True
+        # Inlined Event.__init__ plus a direct init-ring append.  The init
+        # ring carries no sequence numbers (priority -1 outranks every
+        # same-time priority-0 event regardless of age), so the kernel-wide
+        # counter is not bumped here; relative order among ring and heap
+        # entries — the only places seqs are compared — is unaffected.
+        self.sim = sim
+        self._callbacks = _NO_WAITERS
         self._value = None
-        sim._schedule(self, priority=-1)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        sim._init_ring.append(self)
 
 
 class Process(Event):
@@ -200,7 +287,7 @@ class Process(Event):
     (a failure, with the exception as payload).
     """
 
-    __slots__ = ("gen", "name", "_target")
+    __slots__ = ("gen", "name", "_target", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         if not hasattr(gen, "throw"):
@@ -210,8 +297,12 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         #: The event this process is currently waiting on (None if running).
         self._target: Optional[Event] = None
+        #: The bound resume method, created once: registering a waiter is
+        #: then a pointer store instead of a bound-method allocation, and
+        #: detaching can compare by identity.
+        self._resume_cb = self._resume
         init = _Initialize(sim)
-        init._callbacks = [self._resume]
+        init._callbacks = self._resume_cb
 
     @property
     def is_alive(self) -> bool:
@@ -222,33 +313,42 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at its current yield."""
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name}")
-        if self._target is None:
+        target = self._target
+        if target is None:
             raise SimulationError(
                 f"cannot interrupt process {self.name} from within itself")
-        # Detach from the event we were waiting on, then resume immediately
-        # with the interrupt.
-        cbs = self._target._callbacks
-        if isinstance(cbs, list) and self._resume in cbs:
-            cbs.remove(self._resume)
+        # O(1) detach from the event we were waiting on: a sole waiter is
+        # cleared outright; on a multi-waiter list our entry is left in
+        # place and neutralized by the ``_target`` guard in ``_resume``
+        # when the event eventually fires (no O(n) ``list.remove``).
+        resume = self._resume_cb
+        if target._callbacks is resume:
+            target._callbacks = _NO_WAITERS
         hit = Event(self.sim)
         hit._ok = False
         hit._value = Interrupt(cause)
         hit._defused = True
-        hit._callbacks = [self._resume]
+        hit._callbacks = resume
+        self._target = hit
         self.sim._schedule(hit)
 
     # -- kernel plumbing --------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if self._target is not event and type(event) is not _Initialize:
+            # Stale wake-up: an interrupt moved us off this event while it
+            # still held our callback (see interrupt()).
+            return
         self.sim._active_proc = self
         self._target = None
+        gen = self.gen
         while True:
             try:
                 if event._ok:
-                    next_ev = self.gen.send(event._value)
+                    next_ev = gen.send(event._value)
                 else:
                     event._defused = True
                     exc = event._value
-                    next_ev = self.gen.throw(exc)
+                    next_ev = gen.throw(exc)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
@@ -264,7 +364,7 @@ class Process(Event):
                 exc2 = SimulationError(
                     f"process {self.name!r} yielded non-event {next_ev!r}")
                 try:
-                    self.gen.throw(exc2)
+                    gen.throw(exc2)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value
@@ -283,10 +383,13 @@ class Process(Event):
                 event = next_ev
                 continue
 
+            resume = self._resume_cb
             if cbs is _NO_WAITERS:
-                next_ev._callbacks = [self._resume]
+                next_ev._callbacks = resume
+            elif type(cbs) is list:
+                cbs.append(resume)
             else:
-                cbs.append(self._resume)
+                next_ev._callbacks = [cbs, resume]
             self._target = next_ev
             break
         self.sim._active_proc = None
@@ -307,14 +410,17 @@ class Condition(Event):
         if not self.events:
             self.succeed(self._collect())
             return
+        check = self._check
         for ev in self.events:
             cbs = ev._callbacks
             if cbs is None:
-                self._check(ev)
+                check(ev)
             elif cbs is _NO_WAITERS:
-                ev._callbacks = [self._check]
+                ev._callbacks = check
+            elif type(cbs) is list:
+                cbs.append(check)
             else:
-                cbs.append(self._check)
+                ev._callbacks = [cbs, check]
 
     def _collect(self) -> dict:
         return {
@@ -366,16 +472,45 @@ class AnyOf(Condition):
 class Simulator:
     """The event loop: a priority queue of events in virtual time.
 
+    Events scheduled at the *current* time bypass the heap entirely: they
+    land on FIFO rings (one for ordinary events, one for the higher-priority
+    process kick-offs) that :meth:`_step` drains with the exact ordering the
+    heap would have produced — each ring entry carries its sequence number,
+    so an event already sitting in the heap for this same instant still wins
+    the tie when its sequence number is older.
+
     Parameters
     ----------
     trace:
         Optional callable ``trace(time, event)`` invoked for every processed
         event; a kernel-level debugging hook for recording raw schedules.
+        Note that trace hooks must not retain :meth:`sleep` events — those
+        are recycled the moment they are processed.
     """
 
     def __init__(self, trace: Optional[Callable[[float, Event], None]] = None):
         self._now = 0.0
+        #: Future events, time-bucketed: ``_queue`` is a heap of *unique*
+        #: float timestamps and ``_buckets`` maps each of them to either
+        #: a bare ``(seq, event)`` pair (one event at that time — the
+        #: common case) or a FIFO deque of such pairs.  Only events with
+        #: a strictly positive delay land here; the rings below hold
+        #: everything scheduled for the current instant.  Buckets are in
+        #: ascending seq order by construction (the seq counter is
+        #: monotonic), so draining a bucket front-to-back reproduces
+        #: exactly the ``(time, seq)`` order a flat heap would give —
+        #: but events sharing a timestamp cost O(1) instead of a log-n
+        #: sift, and the heap itself compares bare floats instead of
+        #: tuples.
         self._queue: list = []
+        self._buckets: dict = {}
+        #: Immediate events (``delay == 0``, priority 0) as ``(seq, event)``.
+        self._ring: deque = deque()
+        #: Immediate process kick-offs (priority -1): always processed
+        #: before any same-time priority-0 event, so no seq is needed.
+        self._init_ring: deque = deque()
+        #: Recycled :class:`_Sleep` events (see :meth:`sleep`).
+        self._sleep_pool: list = []
         self._seq = 0
         self._active_proc: Optional[Process] = None
         self._trace = trace
@@ -405,6 +540,45 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers after ``delay`` seconds."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Timeout:
+        """A recycled timeout for the fire-and-forget ``yield`` idiom.
+
+        Semantically identical to :meth:`timeout`, but the returned event
+        comes from a per-simulator free list and goes back on it as soon as
+        it has been processed, so steady-state compute delays and NIC gaps
+        allocate nothing.  The contract: ``yield sim.sleep(d)`` immediately
+        and let go — never store the event, pass it to :class:`AnyOf` /
+        :class:`AllOf`, or read it after it fires.  Use :meth:`timeout`
+        for anything fancier.
+        """
+        if not (0.0 <= delay < _INF):
+            raise SimulationError(
+                f"sleep delay must be finite and non-negative: {delay!r}")
+        pool = self._sleep_pool
+        if pool:
+            ev = pool.pop()
+            ev._callbacks = _NO_WAITERS
+            ev._defused = False
+        else:
+            ev = _Sleep(self)
+        ev.delay = delay
+        ev._value = value
+        seq = self._seq = self._seq + 1
+        if delay == 0.0:
+            self._ring.append((seq, ev))
+        else:
+            when = self._now + delay
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = (seq, ev)
+                heappush(self._queue, when)
+            elif bucket.__class__ is tuple:
+                buckets[when] = deque((bucket, (seq, ev)))
+            else:
+                bucket.append((seq, ev))
+        return ev
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start a new process from a generator and return its handle."""
@@ -439,17 +613,84 @@ class Simulator:
         if until is not None and until < self._now:
             raise SimulationError(
                 f"until={until} is in the past (now={self._now})")
+        # The drain loop below is _step() with the event selection and
+        # dispatch inlined (keep the two in sync): at thousands of events
+        # per trial the per-event method call and the repeated attribute
+        # loads are measurable.  An ``until`` of None becomes an infinite
+        # horizon — timeout delays are validated finite, so the horizon
+        # check can never fire in that case.
         queue = self._queue
-        step = self._step
-        if until is None:
-            while queue:
-                step()
-            return
-        while queue:
-            if queue[0][0] > until:
-                self._now = until
-                return
-            step()
+        buckets = self._buckets
+        ring = self._ring
+        init_ring = self._init_ring
+        pool = self._sleep_pool
+        trace = self._trace
+        pop = heappop
+        no_waiters = _NO_WAITERS
+        sleep_cls = _Sleep
+        list_cls = list
+        horizon = _INF if until is None else until
+        # ``events_processed`` accumulates in a local and is flushed in
+        # the finally block (nothing observes the counter mid-run; tests
+        # and benchmarks read it after run() returns).
+        processed = 0
+        try:
+            while queue or ring or init_ring:
+                if init_ring:
+                    event = init_ring.popleft()
+                elif ring:
+                    # An event heaped earlier can land exactly at the
+                    # current instant; its older seq must still win the
+                    # tie.
+                    if queue and queue[0] == self._now:
+                        bucket = buckets[queue[0]]
+                        singleton = bucket.__class__ is tuple
+                        if (bucket[0] if singleton
+                                else bucket[0][0]) < ring[0][0]:
+                            if singleton:
+                                event = bucket[1]
+                                del buckets[pop(queue)]
+                            else:
+                                event = bucket.popleft()[1]
+                                if not bucket:
+                                    del buckets[pop(queue)]
+                        else:
+                            event = ring.popleft()[1]
+                    else:
+                        event = ring.popleft()[1]
+                else:
+                    when = queue[0]
+                    if when > horizon:
+                        self._now = until
+                        return
+                    bucket = buckets[when]
+                    if bucket.__class__ is tuple:
+                        event = bucket[1]
+                        del buckets[pop(queue)]
+                    else:
+                        event = bucket.popleft()[1]
+                        if not bucket:
+                            del buckets[pop(queue)]
+                    self._now = when
+                processed += 1
+                if trace is not None:
+                    trace(self._now, event)
+                callbacks = event._callbacks
+                event._callbacks = None
+                if type(callbacks) is list_cls:
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    elif not event._ok and not event._defused:
+                        raise event._value
+                elif callbacks is not no_waiters:
+                    callbacks(event)
+                elif not event._ok and not event._defused:
+                    raise event._value
+                if type(event) is sleep_cls:
+                    pool.append(event)
+        finally:
+            self.events_processed += processed
         if detect_deadlock and self._now < until:
             raise DeadlockError(
                 f"event queue drained at t={self._now} before until={until}")
@@ -458,13 +699,16 @@ class Simulator:
                            limit: Optional[float] = None) -> Any:
         """Run until ``proc`` finishes and return its value (re-raising failures)."""
         while not proc.triggered:
-            if not self._queue:
+            if not (self._queue or self._ring or self._init_ring):
                 raise DeadlockError(
                     f"process {proc.name!r} cannot complete: queue drained "
                     f"at t={self._now}")
-            if limit is not None and self._queue[0][0] > limit:
-                raise SimulationError(
-                    f"process {proc.name!r} did not finish by t={limit}")
+            if limit is not None:
+                next_time = (self._now if self._ring or self._init_ring
+                             else self._queue[0])
+                if next_time > limit:
+                    raise SimulationError(
+                        f"process {proc.name!r} did not finish by t={limit}")
             self._step()
         # Drain same-time stragglers of the completing event itself.
         if not proc.processed:
@@ -476,28 +720,96 @@ class Simulator:
     # -- internals ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = 0) -> None:
+        """Enqueue a triggered event.
+
+        ``priority`` must be 0 (ordinary events) or -1 (process kick-offs,
+        which always carry ``delay == 0`` and outrank every same-time
+        priority-0 event).  Zero-delay events go to the rings; everything
+        else is heaped.
+        """
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
         seq = self._seq = self._seq + 1
-        heappush(self._queue, (self._now + delay, priority, seq, event))
+        if priority != 0:
+            self._init_ring.append(event)
+        elif delay == 0.0:
+            self._ring.append((seq, event))
+        else:
+            when = self._now + delay
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = (seq, event)
+                heappush(self._queue, when)
+            elif bucket.__class__ is tuple:
+                buckets[when] = deque((bucket, (seq, event)))
+            else:
+                bucket.append((seq, event))
 
     def _step(self) -> None:
-        when, _prio, _seq, event = heappop(self._queue)
-        if when < self._now:  # pragma: no cover - internal invariant
-            raise SimulationError("time ran backwards")
-        self._now = when
+        init_ring = self._init_ring
+        if init_ring:
+            # Priority -1 beats any same-time heap entry (the heap only
+            # ever holds priority-0 events), and the heap head can never
+            # be in the past.
+            event = init_ring.popleft()
+        else:
+            ring = self._ring
+            queue = self._queue
+            buckets = self._buckets
+            if ring:
+                # An event heaped earlier can land exactly at the current
+                # instant; its older seq must still win the tie, exactly
+                # as it would have in a pure-heap kernel.
+                event = None
+                if queue and queue[0] == self._now:
+                    bucket = buckets[queue[0]]
+                    singleton = bucket.__class__ is tuple
+                    if (bucket[0] if singleton
+                            else bucket[0][0]) < ring[0][0]:
+                        if singleton:
+                            event = bucket[1]
+                            del buckets[heappop(queue)]
+                        else:
+                            event = bucket.popleft()[1]
+                            if not bucket:
+                                del buckets[heappop(queue)]
+                if event is None:
+                    event = ring.popleft()[1]
+            else:
+                when = queue[0]
+                if when < self._now:  # pragma: no cover - internal invariant
+                    raise SimulationError("time ran backwards")
+                bucket = buckets[when]
+                if bucket.__class__ is tuple:
+                    event = bucket[1]
+                    del buckets[heappop(queue)]
+                else:
+                    event = bucket.popleft()[1]
+                    if not bucket:
+                        del buckets[heappop(queue)]
+                self._now = when
         self.events_processed += 1
         if self._trace is not None:
-            self._trace(when, event)
+            self._trace(self._now, event)
         callbacks = event._callbacks
         event._callbacks = None
-        if callbacks is not _NO_WAITERS and callbacks:
-            for cb in callbacks:
-                cb(event)
+        if type(callbacks) is list:
+            if callbacks:
+                for cb in callbacks:
+                    cb(event)
+            elif not event._ok and not event._defused:
+                raise event._value
+        elif callbacks is not _NO_WAITERS:
+            # Bare callable: the single-waiter fast path.
+            callbacks(event)
         elif not event._ok and not event._defused:
             raise event._value
+        if type(event) is _Sleep:
+            self._sleep_pool.append(event)
 
     def _step_until_processed(self, event: Event) -> None:
-        while not event.processed and self._queue:
+        while not event.processed and (self._queue or self._ring
+                                       or self._init_ring):
             self._step()

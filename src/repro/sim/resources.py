@@ -37,7 +37,7 @@ class Resource:
     >>> def user(sim, nic, hold):
     ...     req = nic.request()
     ...     yield req
-    ...     yield sim.timeout(hold)
+    ...     yield sim.sleep(hold)
     ...     nic.release()
     """
 
@@ -149,7 +149,7 @@ class Mutex:
     critical sections under ``MPI_THREAD_MULTIPLE``.  Use as::
 
         yield from mutex.acquire()
-        yield sim.timeout(critical_section_cost)
+        yield sim.sleep(critical_section_cost)
         mutex.release()
     """
 

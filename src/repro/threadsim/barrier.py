@@ -50,7 +50,7 @@ class SimBarrier:
             event, self._event = self._event, Event(self.sim)
             cost = self.cost_per_party * self.parties
             if cost > 0:
-                yield self.sim.timeout(cost)
+                yield self.sim.sleep(cost)
             event.succeed(self._generation)
         else:
             yield self._event

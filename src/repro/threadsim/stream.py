@@ -86,7 +86,7 @@ class DeviceStream:
         """
         if duration < 0:
             raise ConfigurationError(f"negative kernel duration: {duration}")
-        yield self.sim.timeout(self.launch_overhead)
+        yield self.sim.sleep(self.launch_overhead)
         handle = KernelHandle(name=name, duration=duration,
                               done=Event(self.sim))
         if self._inflight == 0:
@@ -111,9 +111,9 @@ class DeviceStream:
         while True:
             handle, on_complete = yield self._queue.get()
             if self.queue_gap > 0:
-                yield self.sim.timeout(self.queue_gap)
+                yield self.sim.sleep(self.queue_gap)
             if handle.duration > 0:
-                yield self.sim.timeout(handle.duration)
+                yield self.sim.sleep(handle.duration)
             self.kernels_completed += 1
             handle.done.succeed(self.sim.now)
             if on_complete is not None:

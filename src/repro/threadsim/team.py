@@ -62,7 +62,7 @@ class ThreadContext:
         wall = scaled_compute_time(seconds, self.share,
                                    self.rank_ctx.spec)
         if wall > 0:
-            yield self.sim.timeout(wall)
+            yield self.sim.sleep(wall)
         self.rank_ctx.obs.emit(THREAD_COMPUTED, self.sim.now, self.rank,
                                self.thread_id, seconds, wall)
 
@@ -115,7 +115,7 @@ class ThreadTeam:
             raise SimulationError(f"team {self.name} joined twice")
         sim = self.rank_ctx.sim
         yield AllOf(sim, [p for p in self.processes])
-        yield sim.timeout(self.omp_costs.join_cost(self.nthreads))
+        yield sim.sleep(self.omp_costs.join_cost(self.nthreads))
         self.joined_at = sim.now
         self.rank_ctx.obs.emit(TEAM_JOIN, sim.now, self.rank_ctx.rank,
                                self.name, self.nthreads)

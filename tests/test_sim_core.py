@@ -297,3 +297,213 @@ class TestRun:
         sim.timeout(2.0)
         sim.run()
         assert sim.events_processed == 2
+
+
+class TestNonFiniteDelays:
+    def test_timeout_nan_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(float("nan"))
+
+    def test_timeout_inf_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(float("inf"))
+
+    def test_sleep_nan_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.sleep(float("nan"))
+
+    def test_sleep_inf_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.sleep(float("inf"))
+
+    def test_rejected_delay_schedules_nothing(self, sim):
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(SimulationError):
+                sim.timeout(bad)
+        sim.run()
+        assert sim.events_processed == 0
+        assert sim.now == 0.0
+
+
+class TestSleepRecycling:
+    def test_sleep_event_is_recycled(self, sim):
+        seen = []
+
+        def proc():
+            for delay in (1.0, 2.0, 3.0):
+                ev = sim.sleep(delay)
+                seen.append(ev)
+                yield ev
+
+        sim.process(proc())
+        sim.run()
+        # A processed sleep goes back on the free list once its waiter has
+        # resumed: the second sleep is requested mid-dispatch (before the
+        # first is recycled) and allocates fresh, the third reuses the
+        # first.
+        assert seen[2] is seen[0]
+        assert seen[1] is not seen[0]
+        assert sim.now == 6.0
+
+    def test_sleep_zero_goes_through_ring(self, sim):
+        order = []
+
+        def a():
+            yield sim.sleep(0.0)
+            order.append("a")
+
+        def b():
+            yield sim.sleep(0.0)
+            order.append("b")
+
+        sim.process(a())
+        sim.process(b())
+        sim.run()
+        assert order == ["a", "b"]
+        assert sim.now == 0.0
+
+    def test_sleep_matches_timeout_semantics(self, sim):
+        times = []
+
+        def proc():
+            yield sim.sleep(1.5)
+            times.append(sim.now)
+            yield sim.timeout(1.5)
+            times.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [1.5, 3.0]
+
+
+class TestInterruptDetach:
+    def test_interrupt_on_heavily_subscribed_event(self, sim):
+        """Interrupting one of many waiters must not disturb the rest.
+
+        The interrupted process's callback stays in the event's waiter
+        list (O(1) detach) and is neutralized by the stale-wakeup guard
+        when the event eventually fires.
+        """
+        gate = sim.event()
+        woke, interrupted = [], []
+
+        def waiter(i):
+            try:
+                yield gate
+                woke.append(i)
+            except Interrupt:
+                interrupted.append(i)
+                yield sim.timeout(5.0)
+
+        procs = [sim.process(waiter(i)) for i in range(20)]
+
+        def controller():
+            yield sim.timeout(1.0)
+            procs[7].interrupt("out")
+            gate.succeed()
+
+        sim.process(controller())
+        sim.run()
+        assert interrupted == [7]
+        assert sorted(woke) == [i for i in range(20) if i != 7]
+
+    def test_interrupt_sole_waiter_clears_callback(self, sim):
+        gate = sim.event()
+
+        def waiter():
+            try:
+                yield gate
+            except Interrupt:
+                yield sim.timeout(1.0)
+
+        p = sim.process(waiter())
+
+        def controller():
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.process(controller())
+        sim.run()
+        # The interrupted process never wakes on the gate: firing it
+        # later must find no stale waiter to resume.
+        gate.succeed()
+        sim.run()
+        assert sim.now == 2.0
+
+
+class TestImmediateRing:
+    def test_heap_event_at_now_beats_newer_ring_event(self, sim):
+        """A heaped event landing exactly at the current instant still
+        dispatches before ring entries created later (older seq wins)."""
+        order = []
+
+        def early():
+            yield sim.timeout(1.0)
+            order.append("heaped")
+
+        def late():
+            yield sim.timeout(1.0 - 2 ** -53)  # resumes just before t=1
+            ev = sim.event()
+            ev.succeed()  # ring entry with a newer seq than the timeout
+            yield ev
+            order.append("ring")
+
+        sim.process(early())
+        sim.process(late())
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_zero_delay_any_of(self, sim):
+        results = []
+
+        def proc():
+            first = yield sim.any_of([sim.timeout(0.0, "a"),
+                                      sim.event()])
+            results.append((sim.now, sorted(first.values())))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(0.0, ["a"])]
+
+    def test_zero_delay_all_of(self, sim):
+        results = []
+
+        def proc():
+            vals = yield sim.all_of([sim.timeout(0.0, "a"),
+                                     sim.timeout(0.0, "b")])
+            results.append((sim.now, sorted(ev.value for ev in vals)))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(0.0, ["a", "b"])]
+
+    def test_zero_delay_interrupt(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as exc:
+                log.append((sim.now, exc.cause))
+
+        p = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(0.0)
+            p.interrupt("now")
+
+        sim.process(interrupter())
+        sim.run()
+        assert log == [(0.0, "now")]
+
+    def test_many_same_time_timeouts_preserve_order(self, sim):
+        order = []
+
+        def waiter(i):
+            yield sim.timeout(1.0)
+            order.append(i)
+
+        for i in range(50):
+            sim.process(waiter(i))
+        sim.run()
+        assert order == list(range(50))

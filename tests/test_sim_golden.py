@@ -1,0 +1,51 @@
+"""Golden event-digest tests: the kernel fast paths must be invisible.
+
+Every optimization inside :mod:`repro.sim.core` (immediate-event ring,
+time-bucketed future queue, recycled sleeps, single-waiter dispatch) and
+:mod:`repro.obs` (batched digest serialization, record-free emission) is
+required to leave the observable event stream bit-identical.  These
+fixed-seed mini-sweep digests were captured before the fast paths landed;
+any change to event ordering, timing, or payload rendering shows up here
+as a hash mismatch.
+
+If one of these fails after an intentional semantic change to the model
+layer (new event kinds, different timing model), re-capture the digests
+and say so in the commit; a failure after a kernel-only change is a bug.
+"""
+
+import pytest
+
+from repro.core import PtpBenchmarkConfig
+from repro.core.runner import run_ptp_benchmark
+
+#: (config kwargs, expected sha256 of the canonical event stream).
+GOLDEN = [
+    (dict(message_bytes=4096, partitions=4, iterations=2, warmup=1,
+          seed=7),
+     "17971fc30d26c1e63a06990c6834072bc957f7a297ce0907710d0efe30a3d743"),
+    (dict(message_bytes=65536, partitions=8, iterations=2, warmup=0,
+          seed=7),
+     "091a960a6a6788390729daecccdb478377e4f1f6a5e8cbeca55fc429bd542765"),
+    (dict(message_bytes=262144, partitions=16, iterations=1, warmup=0,
+          seed=13, cache="cold"),
+     "d892b2aaac77cc9dc8ffa2b25cb9acf2cb3e421050b560c0245566fb4d3a1c1a"),
+    (dict(message_bytes=16384, partitions=8, iterations=2, warmup=1,
+          seed=42, impl="native"),
+     "e6c6de576cdbd7594a85c6c1ee6a046b6d733cfe29f8500666d2cc3e85140374"),
+]
+
+
+@pytest.mark.parametrize("kwargs,expected", GOLDEN,
+                         ids=[f"{kw['message_bytes']}B-p{kw['partitions']}"
+                              f"-s{kw['seed']}" for kw, _ in GOLDEN])
+def test_golden_digest(kwargs, expected):
+    result = run_ptp_benchmark(PtpBenchmarkConfig(**kwargs))
+    assert result.event_digest == expected
+
+
+@pytest.mark.parametrize("kwargs,expected", GOLDEN[:1],
+                         ids=["repeatable"])
+def test_digest_is_repeatable_within_process(kwargs, expected):
+    first = run_ptp_benchmark(PtpBenchmarkConfig(**kwargs)).event_digest
+    second = run_ptp_benchmark(PtpBenchmarkConfig(**kwargs)).event_digest
+    assert first == second == expected
