@@ -150,3 +150,21 @@ def test_end_to_end_trial_cost(benchmark):
 
     result = benchmark(run_ptp_benchmark, cfg)
     assert result.samples
+
+
+def test_faults_off_trial_cost(benchmark):
+    """The trial with the fault hooks explicitly disabled.
+
+    Mirrors the ``faults_off_overhead`` guard kernel: a clean config
+    rides the full hook path (NIC fault checks, transmit tracking test,
+    frame-handler prelude) with every hook off — the difference from
+    ``test_end_to_end_trial_cost`` is the cost of having a fault
+    subsystem at all, which should be indistinguishable from zero.
+    """
+    cfg = PtpBenchmarkConfig(message_bytes=1 << 16, partitions=8,
+                             compute_seconds=1e-3, iterations=1, warmup=0,
+                             faults=None)
+
+    result = benchmark(run_ptp_benchmark, cfg)
+    assert result.samples
+    assert result.fault_outcome is None

@@ -26,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import pathlib
 import sys
@@ -111,6 +112,25 @@ def end_to_end_trial():
     return len(run_ptp_benchmark(cfg).samples)
 
 
+def faults_off_overhead():
+    """A clean trial driven through the fault-hook plumbing.
+
+    The ``end_to_end_trial`` workload at 16 iterations with
+    ``faults=None`` spelled out: the config rides the full hook path
+    (NIC fault checks, transmit tracking test, frame-handler prelude)
+    with every hook disabled.  Its baseline entry was captured by
+    running this exact kernel, with this file's timing methodology, on
+    the tree immediately *before* the fault subsystem landed — so the
+    1.05x budget is exactly the promise "fault injection costs nothing
+    when off".  16 iterations (vs 1) pushes the kernel to ~20ms so
+    scheduler jitter amortizes below the 5% budget.
+    """
+    cfg = PtpBenchmarkConfig(message_bytes=1 << 16, partitions=8,
+                             compute_seconds=1e-3, iterations=16, warmup=0,
+                             faults=None)
+    return len(run_ptp_benchmark(cfg).samples)
+
+
 def _build_sweep():
     sizes = [64 * 4 ** k for k in range(10)]
     counts = [1, 2, 4, 8, 16, 32]
@@ -164,6 +184,7 @@ KERNELS = {
     "process_switching": process_switching,
     "store_handoff": store_handoff,
     "end_to_end_trial": end_to_end_trial,
+    "faults_off_overhead": faults_off_overhead,
     "sweep_point_lookup": sweep_point_lookup,
     "obs_emission_disabled": obs_emission_disabled,
     "obs_emission_counted": obs_emission_counted,
@@ -175,6 +196,10 @@ KERNELS = {
 #: of the forgiving 2x default.
 THRESHOLDS = {
     "obs_emission_disabled": 1.05,
+    # A clean trial against the pre-fault-subsystem baseline: the
+    # disabled fault hooks on the NIC/transmit/handler paths must stay
+    # within 5% of a tree that had no hooks at all.
+    "faults_off_overhead": 1.05,
     # The two kernels the fast-path work targeted: a tight budget keeps
     # the ring / bucket / free-list wins from silently eroding.
     "timeout_dispatch": 1.25,
@@ -186,10 +211,10 @@ THRESHOLDS = {
 # Timing
 # ---------------------------------------------------------------------------
 
-def _calibrate() -> float:
+def _calibrate(reps: int = 10) -> float:
     """Seconds for a fixed pure-Python arithmetic loop (machine speed)."""
     best = float("inf")
-    for _ in range(5):
+    for _ in range(reps):
         start = time.perf_counter()
         total = 0
         for i in range(200_000):
@@ -200,23 +225,44 @@ def _calibrate() -> float:
 
 
 def _time_kernel(fn, repeats: int) -> float:
-    """Best-of-``repeats`` wall seconds for one call of ``fn``."""
+    """Best-of-``repeats`` wall seconds for one call of ``fn``.
+
+    The collector is paused across the timed region: the trial kernels
+    allocate heavily, and a cycle-collection pause landing inside one
+    repeat adds tens of percent of phantom "regression" that no amount
+    of best-of-N filtering removes (the calibration loop allocates
+    nothing, so normalization cannot cancel it either).
+    """
     fn()  # warm caches / lazy imports outside the timed region
     best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if was_enabled:
+            gc.enable()
     return best
 
 
-def measure(repeats: int) -> dict:
-    """Calibration-normalized score per kernel (lower is faster)."""
-    cal = _calibrate()
-    return {
-        name: _time_kernel(fn, repeats) / cal
-        for name, fn in KERNELS.items()
-    }
+def measure(repeats: int, names=None) -> dict:
+    """Calibration-normalized score per kernel (lower is faster).
+
+    Calibration runs both before and after the kernel sweep and the
+    *minimum* wins: a transient host-load wave landing on a single
+    up-front calibration would silently inflate (or deflate) every
+    score in the run, which is exactly the failure mode the tight
+    per-kernel budgets cannot tolerate.
+    """
+    kernels = {n: KERNELS[n] for n in names} if names else KERNELS
+    cal_before = _calibrate()
+    raw = {name: _time_kernel(fn, repeats) for name, fn in kernels.items()}
+    cal = min(cal_before, _calibrate())
+    return {name: t / cal for name, t in raw.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -278,6 +324,24 @@ def main(argv=None) -> int:
 
     rows = list(compare(current, data["scores"], args.threshold))
     failed = [r for r in rows if not r[5]]
+
+    # A kernel over budget is re-measured (twice, best score wins)
+    # before the run fails: a multi-hundred-millisecond host-load wave
+    # can swallow an entire best-of-N repeat loop, and a spike that
+    # large looks exactly like a regression.  Real regressions survive
+    # the re-measurement; transients do not.
+    for attempt in range(2):
+        if not failed:
+            break
+        suspects = [r[0] for r in failed]
+        print(f"re-measuring {len(suspects)} kernel(s) over budget "
+              f"(transient-noise check {attempt + 1}/2): "
+              f"{', '.join(suspects)}", file=sys.stderr)
+        retry = measure(args.repeats, names=suspects)
+        for name, score in retry.items():
+            current[name] = min(current[name], score)
+        rows = list(compare(current, data["scores"], args.threshold))
+        failed = [r for r in rows if not r[5]]
     report = {
         "ok": not failed,
         "threshold": args.threshold,

@@ -1,0 +1,89 @@
+"""Static rule for fault-blind cache keys (``SIM108``).
+
+The parallel engine's result cache is content-addressed: a cell is
+reloaded whenever its *fingerprint* matches, so a fingerprint that
+ignores any simulated-behaviour input silently serves stale results.
+The canonical repro fingerprint (:func:`repro.core.parallel.
+config_fingerprint`) walks every dataclass field and is immune by
+construction; the hazard is hand-rolled keys — experiment scripts that
+hash a tuple of "the fields that matter" and forget the fault plan, so
+a clean cached result is returned for a faulty configuration.
+
+This rule flags fingerprint/cache-key helpers that enumerate config
+fields by hand (``cfg.message_bytes``, ``cfg.seed``, ...) on one object
+without ever reading its ``faults`` field.  Field-enumeration is the
+trigger: a function that canonicalizes generically (no per-field
+attribute reads) is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from ..findings import Finding
+from . import Rule, register
+
+__all__ = ["FaultBlindCacheKeyRule"]
+
+#: Function-name fragments that mark a cache-key builder.
+_KEY_NAMES = ("fingerprint", "cache_key", "cachekey")
+
+#: Config fields whose hand-enumeration marks the function as keying on
+#: a benchmark config.  Two or more reads off the same base name count.
+_CONFIG_FIELDS = frozenset({
+    "message_bytes", "partitions", "partitions_per_thread",
+    "compute_seconds", "noise", "cache", "impl", "iterations",
+    "warmup", "seed",
+})
+
+
+@register
+class FaultBlindCacheKeyRule(Rule):
+    """SIM108: a hand-rolled cache key that ignores the fault plan."""
+
+    id = "SIM108"
+    name = "cache-key-ignores-faults"
+    summary = ("fingerprint/cache-key helper enumerates benchmark-config "
+               "fields but never reads .faults, so cached clean results "
+               "can be served for faulty configurations")
+
+    def check(self, tree: ast.AST, filename: str) -> Iterable[Finding]:
+        """Flag fault-blind field-enumerating key builders."""
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            lowered = node.name.lower()
+            if not any(frag in lowered for frag in _KEY_NAMES):
+                continue
+            yield from self._check_function(node, filename)
+
+    def _check_function(self, func: ast.AST,
+                        filename: str) -> Iterable[Finding]:
+        # Group attribute reads by their base name: cfg.seed counts
+        # toward base "cfg"; chained bases (self.config.seed) toward
+        # "self.config".
+        enumerated: Dict[str, Set[str]] = {}
+        reads_faults: Set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Attribute):
+                continue
+            try:
+                base = ast.unparse(node.value)
+            except Exception:  # pragma: no cover - exotic bases
+                continue
+            if node.attr == "faults":
+                reads_faults.add(base)
+            elif node.attr in _CONFIG_FIELDS:
+                enumerated.setdefault(base, set()).add(node.attr)
+        for base, fields in sorted(enumerated.items()):
+            if len(fields) < 2 or base in reads_faults:
+                continue
+            listed = ", ".join(sorted(fields))
+            yield self.finding(
+                filename, func,
+                f"{func.name}() keys the cache on {base}'s fields "
+                f"({listed}) but never reads {base}.faults; a fault "
+                f"plan must invalidate the cache key — include "
+                f"{base}.faults or fingerprint every field generically")

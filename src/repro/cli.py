@@ -13,6 +13,9 @@ Usage::
         --noise single --noise-percent 4
     python -m repro lint src/repro benchmarks examples
     python -m repro check path/to/program.py
+    python -m repro faults --spec 'drop=0.05,deadline=30'
+    python -m repro metrics --message-bytes 65536 --partitions 8 \\
+        --faults 'drop=0.02,stall=0.5/0.05'
     python -m repro trace export --message-bytes 1048576 --partitions 8 \\
         --format chrome --kinds 'part.*,bench.*' -o trace.json
     python -m repro report --message-bytes 1048576 --partitions 8
@@ -39,11 +42,12 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from .core import (METRIC_NAMES, PtpBenchmarkConfig, ResultCache,
-                   fig4_overhead, fig5_perceived_bandwidth,
+                   fault_table, fig4_overhead, fig5_perceived_bandwidth,
                    fig6_availability, fig7_noise_models, fig8_early_bird,
                    metric_table, recommend_partitions, run_ptp_benchmark,
                    save_sweep, series_table, sweep_ptp)
 from .core.report import ascii_table, format_bytes
+from .faults import parse_fault_spec
 from .noise import noise_model_from_name
 from .patterns import (CommMode, Halo3DGrid, PatternConfig, Sweep3DGrid,
                        throughput_series)
@@ -224,9 +228,26 @@ def _cmd_list(args) -> str:
                        title="available figure reproductions")
 
 
+def _resolve_noise(name: str, percent: Optional[float]):
+    """Build the noise model, defaulting the percent per model.
+
+    ``--noise-percent`` defaults to ``None`` so ``--noise none`` (the
+    default) resolves to a percent of 0 while noisy models default to the
+    paper's 4%.  An *explicit* nonzero percent combined with ``none`` is
+    rejected by :func:`~repro.noise.noise_model_from_name`.
+    """
+    if percent is None:
+        percent = 0.0 if name == "none" else 4.0
+    return noise_model_from_name(name, percent)
+
+
 def _benchmark_config(args) -> PtpBenchmarkConfig:
     """One-cell benchmark config from the shared measurement flags."""
-    noise = noise_model_from_name(args.noise, args.noise_percent)
+    noise = _resolve_noise(args.noise, args.noise_percent)
+    faults = None
+    spec = getattr(args, "faults", None)
+    if spec:
+        faults = parse_fault_spec(spec)
     return PtpBenchmarkConfig(
         message_bytes=args.message_bytes,
         partitions=args.partitions,
@@ -236,11 +257,15 @@ def _benchmark_config(args) -> PtpBenchmarkConfig:
         impl=args.impl,
         iterations=args.iterations,
         seed=args.seed,
+        faults=faults,
     )
 
 
 def _cmd_metrics(args) -> str:
     result = run_ptp_benchmark(_benchmark_config(args))
+    if result.fault_outcome is not None and not result.samples:
+        return (f"{result.config.label()}\n"
+                f"no measured samples: {result.fault_outcome.describe()}")
     rows = [
         ["overhead (eq.1)", f"{result.overhead.mean:.2f}x"],
         ["perceived bandwidth (eq.2)",
@@ -250,12 +275,15 @@ def _cmd_metrics(args) -> str:
         ["early-bird communication (eq.4)",
          f"{result.early_bird_fraction.mean * 100:.1f}%"],
     ]
-    return ascii_table(["metric", "pruned mean"], rows,
-                       title=result.config.label())
+    table = ascii_table(["metric", "pruned mean"], rows,
+                        title=result.config.label())
+    if result.fault_outcome is not None:
+        table += f"\n\nfault outcome: {result.fault_outcome.describe()}"
+    return table
 
 
 def _cmd_advisor(args) -> str:
-    noise = noise_model_from_name(args.noise, args.noise_percent)
+    noise = _resolve_noise(args.noise, args.noise_percent)
     rec = recommend_partitions(
         message_bytes=args.message_bytes,
         compute_seconds=args.compute_ms / 1e3,
@@ -272,6 +300,36 @@ def _cmd_advisor(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_faults(args) -> str:
+    """Show a parsed fault plan's contents, or the spec grammar."""
+    if not args.spec:
+        return parse_fault_spec.GRAMMAR.strip()
+    plan = parse_fault_spec(args.spec)
+    rows = [
+        ["drop probability", f"{plan.drop_probability:g}"],
+        ["degrade windows",
+         "; ".join(f"[{w.start:g}s, {w.end:g}s) bw x{w.bandwidth_scale:g} "
+                   f"lat x{w.latency_scale:g}"
+                   for w in plan.degrade_windows) or "-"],
+        ["NIC stall", (f"{plan.stall_duration:g}s every "
+                       f"{plan.stall_period:g}s"
+                       if plan.stall_period else "-")],
+        ["rank slowdown",
+         "; ".join(f"rank {r} x{f:g}" for r, f in plan.rank_slowdown)
+         or "-"],
+        ["fail-stop", (f"rank {plan.fail_stop.rank} at "
+                       f"{plan.fail_stop.time:g}s"
+                       if plan.fail_stop else "-")],
+        ["deadline", f"{plan.deadline:g}s" if plan.deadline else "-"],
+        ["retry: ack timeout", f"{plan.retry.ack_timeout:g}s"],
+        ["retry: backoff factor", f"{plan.retry.backoff_factor:g}"],
+        ["retry: max backoff", f"{plan.retry.max_backoff:g}s"],
+        ["retry: max retries", str(plan.retry.max_retries)],
+    ]
+    return ascii_table(["knob", "value"], rows,
+                       title=f"fault plan: {plan.describe()}")
+
+
 def _parse_int_list(text: str, what: str) -> List[int]:
     from .errors import ConfigurationError
     try:
@@ -286,7 +344,7 @@ def _parse_int_list(text: str, what: str) -> List[int]:
 
 def _cmd_sweep(args) -> str:
     """A figure-shaped grid sweep with full engine control."""
-    noise = noise_model_from_name(args.noise, args.noise_percent)
+    noise = _resolve_noise(args.noise, args.noise_percent)
     sizes = _parse_int_list(args.sizes, "--sizes")
     counts = _parse_int_list(args.counts, "--counts")
     base = PtpBenchmarkConfig(
@@ -298,6 +356,7 @@ def _cmd_sweep(args) -> str:
         impl=args.impl,
         iterations=args.iterations,
         seed=args.seed,
+        faults=parse_fault_spec(args.faults) if args.faults else None,
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     sweep = sweep_ptp(base, sizes, counts, jobs=args.jobs or 1,
@@ -305,6 +364,9 @@ def _cmd_sweep(args) -> str:
     metrics = METRIC_NAMES if args.metric == "all" else (args.metric,)
     parts = [metric_table(sweep, metric, title=f"sweep — {metric}")
              for metric in metrics]
+    faults_summary = fault_table(sweep)
+    if faults_summary is not None:
+        parts.append(faults_summary)
     parts.append(f"sweep engine: {sweep.stats.describe()}")
     if cache is not None:
         parts.append(f"cache at {cache.root}: {cache.hits} hits, "
@@ -409,6 +471,9 @@ def _cmd_report(args) -> int:
         print(json.dumps({
             "config": result.config.label(),
             "event_digest": result.event_digest,
+            "fault_outcome": (result.fault_outcome.to_dict()
+                              if result.fault_outcome is not None
+                              else None),
             "event_counts": [
                 {"kind": kind, "rank": rank, "count": n}
                 for kind, rank, n in counters.rows()
@@ -425,6 +490,8 @@ def _cmd_report(args) -> int:
         }, indent=2))
         return 0
     print(cluster_report(cluster, counters=counters))
+    if result.fault_outcome is not None:
+        print(f"\nfault outcome: {result.fault_outcome.describe()}")
     print(f"\nevent stream digest: {result.event_digest}")
     return 0
 
@@ -454,12 +521,18 @@ def _add_measurement_args(parser: argparse.ArgumentParser,
     parser.add_argument("--noise", default="none",
                         choices=["none", "single", "uniform", "gaussian",
                                  "exponential"])
-    parser.add_argument("--noise-percent", type=float, default=4.0)
+    parser.add_argument("--noise-percent", type=float, default=None,
+                        help="noise magnitude in percent (default: 0 for "
+                             "'none', 4 for noisy models)")
     parser.add_argument("--cache", default="hot", choices=["hot", "cold"])
     parser.add_argument("--impl", default="mpipcl",
                         choices=["mpipcl", "native"])
     parser.add_argument("--iterations", type=int, default=iterations)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault-injection plan, e.g. "
+                             "'drop=0.05,deadline=30' "
+                             "(see 'repro faults' for the grammar)")
 
 
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
@@ -503,7 +576,12 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--noise", default="none",
                     choices=["none", "single", "uniform", "gaussian",
                              "exponential"])
-    sw.add_argument("--noise-percent", type=float, default=4.0)
+    sw.add_argument("--noise-percent", type=float, default=None,
+                    help="noise magnitude in percent (default: 0 for "
+                         "'none', 4 for noisy models)")
+    sw.add_argument("--faults", default=None, metavar="SPEC",
+                    help="fault-injection plan applied to every cell "
+                         "(see 'repro faults' for the grammar)")
     sw.add_argument("--cache", default="hot", choices=["hot", "cold"])
     sw.add_argument("--impl", default="mpipcl",
                     choices=["mpipcl", "native"])
@@ -548,13 +626,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated event-kind patterns to count "
                          "(exit 2 on unknown kinds)")
 
+    fa = sub.add_parser(
+        "faults", help="inspect a fault-injection spec (or its grammar)")
+    fa.add_argument("--spec", default=None, metavar="SPEC",
+                    help="fault spec to parse and display; omit to print "
+                         "the grammar")
+
     a = sub.add_parser("advisor", help="recommend a partition count")
     a.add_argument("--message-bytes", type=int, required=True)
     a.add_argument("--compute-ms", type=float, default=10.0)
     a.add_argument("--noise", default="single",
                    choices=["none", "single", "uniform", "gaussian",
                             "exponential"])
-    a.add_argument("--noise-percent", type=float, default=4.0)
+    a.add_argument("--noise-percent", type=float, default=None,
+                   help="noise magnitude in percent (default: 0 for "
+                        "'none', 4 for noisy models)")
     a.add_argument("--objective", default="balanced",
                    choices=["availability", "overhead", "balanced"])
     a.add_argument("--iterations", type=int, default=3)
@@ -598,6 +684,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_metrics(args))
     elif args.command == "advisor":
         print(_cmd_advisor(args))
+    elif args.command == "faults":
+        print(_cmd_faults(args))
     elif args.command == "lint":
         return _cmd_lint(args)
     elif args.command == "check":

@@ -23,7 +23,7 @@ from .persistence import (load_sweep, result_from_dict,
                           result_to_dict, save_sweep,
                           sweep_from_dict, sweep_to_dict)
 from .plot import ascii_plot
-from .report import (METRIC_FORMATS, ascii_table, format_bytes,
+from .report import (METRIC_FORMATS, ascii_table, fault_table, format_bytes,
                      format_seconds, metric_table, series_table)
 from .runner import PtpResult, PtpSample, run_ptp_benchmark, run_ptp_trial
 from .suite import (QUICK_MESSAGE_SIZES, QUICK_PARTITION_COUNTS,
@@ -58,6 +58,7 @@ __all__ = [
     "sweep_to_dict",
     "METRIC_FORMATS",
     "ascii_table",
+    "fault_table",
     "format_bytes",
     "format_seconds",
     "metric_table",

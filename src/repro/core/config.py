@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+from typing import Optional
+
 from ..errors import ConfigurationError
+from ..faults import FaultPlan
 from ..machine import BindPolicy, MachineSpec, NIAGARA_NODE
 from ..mpi import DEFAULT_COSTS, MPICosts, ThreadingMode
 from ..network import INTRA_NODE, NIAGARA_EDR, NetworkParams
@@ -59,6 +62,10 @@ class PtpBenchmarkConfig:
         Master seed for noise streams.
     mode / bind_policy / spec / inter_node / intra_node / costs:
         Substrate configuration, defaulting to the Niagara calibration.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`; part of the config
+        fingerprint, so a cached clean result is never returned for a
+        faulty configuration (and vice versa).
     """
 
     message_bytes: int
@@ -81,6 +88,7 @@ class PtpBenchmarkConfig:
     inter_node: NetworkParams = NIAGARA_EDR
     intra_node: NetworkParams = INTRA_NODE
     costs: MPICosts = DEFAULT_COSTS
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.message_bytes < 1:
@@ -136,7 +144,10 @@ class PtpBenchmarkConfig:
 
     def label(self) -> str:
         """Compact description used in reports."""
-        return (f"m={self.message_bytes}B n={self.partitions} "
+        base = (f"m={self.message_bytes}B n={self.partitions} "
                 f"comp={self.compute_seconds * 1e3:g}ms "
                 f"noise={self.noise.describe()} cache={self.cache} "
                 f"impl={self.impl}")
+        if self.faults is not None:
+            base += f" faults[{self.faults.describe()}]"
+        return base

@@ -36,6 +36,7 @@ from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..errors import ConfigurationError
+from ..faults import FaultOutcome
 from .config import PtpBenchmarkConfig
 from .persistence import result_to_dict, sample_from_dict, sample_to_dict
 from .runner import PtpResult, run_ptp_benchmark
@@ -48,7 +49,8 @@ __all__ = ["CACHE_SCHEMA_VERSION", "SweepStats", "ResultCache",
 #: changes) *or* stale (simulation semantics changed).  Old entries are
 #: simply treated as misses.
 #: 2: results carry the instrumentation-stream digest (repro.obs).
-CACHE_SCHEMA_VERSION = 2
+#: 3: results carry the fault outcome (repro.faults).
+CACHE_SCHEMA_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +160,9 @@ class ResultCache:
             return None
         result = PtpResult(config=config,
                            event_digest=data["result"].get("event_digest"))
+        outcome = data["result"].get("fault_outcome")
+        if outcome is not None:
+            result.fault_outcome = FaultOutcome.from_dict(outcome)
         for s in data["result"]["samples"]:
             result.samples.append(sample_from_dict(s))
         self.hits += 1
@@ -253,16 +258,22 @@ def _execute_cell(config: PtpBenchmarkConfig) -> Dict:
     worker's event stream was identical too.
     """
     result = run_ptp_benchmark(config)
-    return {
+    shipped = {
         "samples": [sample_to_dict(s) for s in result.samples],
         "event_digest": result.event_digest,
     }
+    if result.fault_outcome is not None:
+        shipped["fault_outcome"] = result.fault_outcome.to_dict()
+    return shipped
 
 
 def _result_from_shipped(config: PtpBenchmarkConfig,
                          shipped: Dict) -> PtpResult:
     result = PtpResult(config=config,
                        event_digest=shipped.get("event_digest"))
+    outcome = shipped.get("fault_outcome")
+    if outcome is not None:
+        result.fault_outcome = FaultOutcome.from_dict(outcome)
     for s in shipped["samples"]:
         result.samples.append(sample_from_dict(s))
     return result

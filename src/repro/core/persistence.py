@@ -18,6 +18,7 @@ import pathlib
 from typing import Dict, List, Union
 
 from ..errors import ConfigurationError
+from ..faults import FaultOutcome
 from ..metrics import PartitionTimeline, PtpMetrics
 from .runner import PtpResult, PtpSample
 from .sweep import SweepResult
@@ -32,7 +33,7 @@ FORMAT_VERSION = 1
 
 
 def _config_snapshot(config) -> Dict:
-    return {
+    snap = {
         "message_bytes": config.message_bytes,
         "partitions": config.partitions,
         "partitions_per_thread": config.partitions_per_thread,
@@ -45,6 +46,9 @@ def _config_snapshot(config) -> Dict:
         "seed": config.seed,
         "label": config.label(),
     }
+    if config.faults is not None:
+        snap["faults"] = config.faults.describe()
+    return snap
 
 
 def sample_to_dict(sample: PtpSample) -> Dict:
@@ -82,9 +86,10 @@ def sample_from_dict(data: Dict) -> PtpSample:
 def result_to_dict(result: PtpResult) -> Dict:
     """Serialize one configuration's result (timelines are lossless).
 
-    The event-stream digest rides along when present (additive field —
-    the format version is unchanged, and old records simply load with
-    ``event_digest=None``).
+    The event-stream digest and the fault outcome ride along when
+    present (additive fields — the format version is unchanged, and old
+    records simply load with ``event_digest=None`` /
+    ``fault_outcome=None``).
     """
     out = {
         "config": _config_snapshot(result.config),
@@ -92,6 +97,8 @@ def result_to_dict(result: PtpResult) -> Dict:
     }
     if result.event_digest is not None:
         out["event_digest"] = result.event_digest
+    if result.fault_outcome is not None:
+        out["fault_outcome"] = result.fault_outcome.to_dict()
     return out
 
 
@@ -108,6 +115,9 @@ def result_from_dict(data: Dict) -> PtpResult:
         raise ConfigurationError(f"malformed result record: missing {exc}")
     result = PtpResult(config=config,
                        event_digest=data.get("event_digest"))
+    outcome = data.get("fault_outcome")
+    if outcome is not None:
+        result.fault_outcome = FaultOutcome.from_dict(outcome)
     for s in samples_data:
         result.samples.append(sample_from_dict(s))
     return result

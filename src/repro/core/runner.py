@@ -32,7 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple, Union
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DeadlockError
+from ..faults import FaultOutcome
 from ..metrics import PartitionTimeline, PtpMetrics, SampleSummary, summarize
 from ..mpi import Cluster
 from ..obs import DigestSink, Sink, TimelineBuilder
@@ -92,11 +93,17 @@ class PtpResult:
     instrumentation stream (``None`` for results rebuilt from formats
     that predate it); equal digests prove two executions saw the same
     events in the same order with bit-identical payloads.
+
+    ``fault_outcome`` is populated only for trials run under a
+    :class:`~repro.faults.FaultPlan`: what the fault machinery saw, and —
+    for trials that hit the deadline, a fail-stop, or an exhausted retry
+    budget — why the samples are partial or absent.
     """
 
     config: PtpBenchmarkConfig
     samples: List[PtpSample] = field(default_factory=list)
     event_digest: Optional[str] = None
+    fault_outcome: Optional[FaultOutcome] = None
 
     def _summary(self, attr: str) -> SampleSummary:
         return summarize([getattr(s.metrics, attr) for s in self.samples])
@@ -220,6 +227,7 @@ def run_ptp_trial(config: PtpBenchmarkConfig,
     discarded — and carries the digest of the *full* event stream.
     """
     EXECUTIONS.bump()
+    faults = config.faults
     cluster = Cluster(
         nranks=2,
         spec=config.spec,
@@ -229,8 +237,9 @@ def run_ptp_trial(config: PtpBenchmarkConfig,
         mode=config.mode,
         bind_policy=config.bind_policy,
         seed=config.seed,
+        faults=faults,
     )
-    builder = TimelineBuilder()
+    builder = TimelineBuilder(allow_partial=faults is not None)
     cluster.obs.attach(builder, TimelineBuilder.PATTERNS)
     digest = DigestSink()
     cluster.obs.attach(digest, ("*",))
@@ -247,10 +256,34 @@ def run_ptp_trial(config: PtpBenchmarkConfig,
         else:
             yield from _receiver_program(ctx, config)
 
-    cluster.run(program)
+    abandoned_reason = None
+    if faults is None:
+        cluster.run(program)
+    else:
+        try:
+            cluster.run(program, until=faults.deadline)
+        except DeadlockError:
+            # Graceful degradation: the trial could not finish under the
+            # fault plan.  Record a structured outcome instead of
+            # crashing the sweep; completed iterations are kept.
+            stats = cluster.fault_stats
+            if stats.fail_stops:
+                abandoned_reason = "rank fail-stop"
+            elif faults.deadline is not None and \
+                    cluster.now >= faults.deadline:
+                abandoned_reason = (f"simulated deadline "
+                                    f"{faults.deadline:g}s exceeded")
+            elif stats.abandoned:
+                abandoned_reason = "retry budget exhausted"
+            else:
+                abandoned_reason = "deadlocked under fault plan"
     cluster.obs.finalize()
 
     result = PtpResult(config=config, event_digest=digest.hexdigest())
+    if faults is not None:
+        result.fault_outcome = cluster.fault_stats.outcome(
+            delivered=abandoned_reason is None,
+            reason=abandoned_reason or "")
     for it, timeline in builder.timelines:
         if it < config.warmup:
             continue

@@ -1,0 +1,22 @@
+"""Deterministic fault injection and the retry/backoff transport.
+
+``repro.faults`` opens the scenario space the paper's perfect-fabric
+assumption closes off: seed-derived packet loss, link-degradation
+windows, NIC stalls, per-rank slowdown, and fail-stop — plus the
+ACK-timeout retransmission machinery that lets trials survive them.
+See ``docs/faults.md``.
+
+Configuration lives in :class:`FaultPlan` (built directly or parsed from
+the CLI ``--faults`` grammar via :func:`parse_fault_spec`); the runtime
+pieces (:class:`LinkFaults`, :class:`ReliableTransport`) are wired up by
+:class:`~repro.mpi.cluster.Cluster` when a plan is present and add zero
+work to the hot path when it is not.
+"""
+
+from .plan import (DegradeWindow, FailStop, FaultOutcome, FaultPlan,
+                   RetryPolicy, parse_fault_spec)
+from .transport import FaultStats, LinkFaults, ReliableTransport
+
+__all__ = ["DegradeWindow", "FailStop", "FaultOutcome", "FaultPlan",
+           "RetryPolicy", "parse_fault_spec", "FaultStats", "LinkFaults",
+           "ReliableTransport"]

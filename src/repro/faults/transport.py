@@ -1,0 +1,231 @@
+"""Runtime side of fault injection: link faults and the reliable transport.
+
+:class:`LinkFaults` is the per-rank decision engine the NIC consults on
+every transmission — *whether* to stall, degrade, or drop.  All
+randomness comes from one named stream of the cluster's
+:class:`~repro.sim.rng.RandomStreams` (``faults/rank{r}/link``), so the
+decisions replay bit-identically for a given seed, and no stream is even
+created when the plan is absent.
+
+:class:`ReliableTransport` makes a lossy fabric survivable: every
+non-ACK frame a rank transmits gets a sender-local sequence number and a
+pending-table entry; an ACK timeout armed at injection time retransmits
+the frame with capped exponential backoff until the peer's ACK clears it
+or the retry budget runs out.  Receivers ACK every tracked frame —
+including duplicates, since the duplicate usually means the *ACK* was
+the casualty — and de-duplicate by ``(src, seq)`` before the frame
+reaches protocol handling, which is what keeps retransmission safe for
+partitioned fragments (``Parrived`` would otherwise see a partition land
+twice).
+
+Both classes share one :class:`FaultStats` so a trial can be summarized
+into a :class:`~repro.faults.plan.FaultOutcome`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..network.nic import Transmission
+from ..obs.kinds import (FAULT_DEGRADE, FAULT_DROP, FAULT_DUPLICATE,
+                         FAULT_STALL, RETRY_ABANDONED, RETRY_ACK,
+                         RETRY_RETRANSMIT)
+from .plan import FaultOutcome, FaultPlan, RetryPolicy
+
+__all__ = ["FaultStats", "LinkFaults", "ReliableTransport"]
+
+
+class FaultStats:
+    """Shared mutable counters for one trial's fault activity."""
+
+    __slots__ = ("drops", "stalls", "degraded", "duplicates", "acks",
+                 "retransmits", "abandoned", "fail_stops")
+
+    def __init__(self) -> None:
+        self.drops = 0
+        self.stalls = 0
+        self.degraded = 0
+        self.duplicates = 0
+        self.acks = 0
+        self.retransmits = 0
+        self.abandoned = 0
+        self.fail_stops = 0
+
+    def outcome(self, delivered: bool, reason: str = "") -> FaultOutcome:
+        """Freeze the counters into a :class:`FaultOutcome`."""
+        return FaultOutcome(
+            delivered=delivered, drops=self.drops,
+            retransmits=self.retransmits, duplicates=self.duplicates,
+            acks=self.acks, abandoned=self.abandoned, stalls=self.stalls,
+            fail_stops=self.fail_stops, reason=reason)
+
+
+class LinkFaults:
+    """Per-rank fault decisions the NIC consults on every transmission."""
+
+    __slots__ = ("plan", "rank", "sim", "obs", "rng", "stats")
+
+    def __init__(self, plan: FaultPlan, rank: int, sim, obs, rng, stats):
+        self.plan = plan
+        self.rank = rank
+        self.sim = sim
+        self.obs = obs
+        self.rng = rng
+        self.stats = stats
+
+    def stall_delay(self, now: float) -> float:
+        """Seconds to stall before injecting; emits ``fault.nic_stall``."""
+        delay = self.plan.stall_delay(now)
+        if delay > 0.0:
+            self.stats.stalls += 1
+            self.obs.emit(FAULT_STALL, now, self.rank, delay)
+        return delay
+
+    def degraded(self, now: float, dst_rank: int, wire_time: float,
+                 latency: float):
+        """``(wire_time, latency)`` after any active degradation window."""
+        bw, lat = self.plan.degrade_at(now)
+        if bw == 1.0 and lat == 1.0:
+            return wire_time, latency
+        self.stats.degraded += 1
+        self.obs.emit(FAULT_DEGRADE, now, self.rank, dst_rank, bw, lat)
+        return wire_time / bw, latency * lat
+
+    def drop(self, tx: Transmission) -> bool:
+        """Decide whether the fabric loses ``tx`` after injection."""
+        if self.plan.drop_probability <= 0.0:
+            return False
+        if self.rng.random() >= self.plan.drop_probability:
+            return False
+        self.note_drop(tx)
+        return True
+
+    def note_drop(self, tx: Transmission) -> None:
+        """Count and emit one lost frame (also used for black-holing)."""
+        self.stats.drops += 1
+        payload = tx.payload
+        kind = getattr(payload, "kind", None)
+        self.obs.emit(FAULT_DROP, self.sim.now, self.rank, tx.dst_rank,
+                      kind.value if kind is not None else "",
+                      getattr(payload, "seq", -1), tx.nbytes)
+
+
+class _Pending:
+    """Sender-side bookkeeping for one unacknowledged frame."""
+
+    __slots__ = ("frame", "dst_rank", "nbytes", "wire_time", "latency",
+                 "gap", "attempts", "acked", "abandoned")
+
+    def __init__(self, frame, dst_rank, nbytes, wire_time, latency, gap):
+        self.frame = frame
+        self.dst_rank = dst_rank
+        self.nbytes = nbytes
+        self.wire_time = wire_time
+        self.latency = latency
+        self.gap = gap
+        self.attempts = 0
+        self.acked = False
+        self.abandoned = False
+
+
+class ReliableTransport:
+    """Sender-side retransmission plus receiver-side ACK/de-duplication.
+
+    One instance per rank, active only in lossy mode.  The owning
+    :class:`~repro.mpi.process.MPIProcess` calls :meth:`track` when it
+    transmits a frame, :meth:`on_ack` when an ACK frame arrives, and
+    :meth:`accept` for every inbound sequenced frame (the process sends
+    the actual ACK frame itself — the transport stays protocol-agnostic).
+    """
+
+    __slots__ = ("sim", "nic", "rank", "policy", "stats", "obs",
+                 "_pending", "_seen", "_next_seq")
+
+    def __init__(self, sim, nic, rank: int, policy: RetryPolicy,
+                 stats: FaultStats, obs):
+        self.sim = sim
+        self.nic = nic
+        self.rank = rank
+        self.policy = policy
+        self.stats = stats
+        self.obs = obs
+        self._pending: Dict[int, _Pending] = {}
+        self._seen: Dict[int, Set[int]] = {}
+        self._next_seq = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Frames transmitted but not yet acknowledged or abandoned."""
+        return len(self._pending)
+
+    # -- sender side ----------------------------------------------------
+
+    def track(self, tx: Transmission, frame) -> None:
+        """Register ``frame`` for ACK tracking before it is enqueued.
+
+        Assigns the sequence number and arms the first ACK timer when the
+        NIC finishes injecting (timing out a frame still queued behind
+        others would retransmit it before it ever hit the wire).
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        frame.seq = seq
+        entry = _Pending(frame, tx.dst_rank, tx.nbytes, tx.wire_time,
+                         tx.latency, tx.gap)
+        self._pending[seq] = entry
+        tx.injected.callbacks.append(
+            lambda ev, entry=entry: self._arm(entry))
+
+    def on_ack(self, src_rank: int, seq: int) -> None:
+        """An ACK from ``src_rank`` arrived for sequence ``seq``."""
+        entry = self._pending.pop(seq, None)
+        if entry is None:
+            return  # duplicate or post-abandonment ACK; nothing pending
+        entry.acked = True
+        self.stats.acks += 1
+        self.obs.emit(RETRY_ACK, self.sim.now, self.rank, src_rank, seq)
+
+    def _arm(self, entry: _Pending) -> None:
+        if entry.acked or entry.abandoned:
+            return
+        timer = self.sim.timeout(self.policy.timeout_after(entry.attempts))
+        timer.callbacks.append(
+            lambda ev, entry=entry: self._expired(entry))
+
+    def _expired(self, entry: _Pending) -> None:
+        if entry.acked or entry.abandoned:
+            return
+        if entry.attempts >= self.policy.max_retries:
+            entry.abandoned = True
+            self._pending.pop(entry.frame.seq, None)
+            self.stats.abandoned += 1
+            self.obs.emit(RETRY_ABANDONED, self.sim.now, self.rank,
+                          entry.dst_rank, entry.frame.seq, entry.attempts)
+            return
+        entry.attempts += 1
+        self.stats.retransmits += 1
+        self.obs.emit(RETRY_RETRANSMIT, self.sim.now, self.rank,
+                      entry.dst_rank, entry.frame.seq, entry.attempts,
+                      self.policy.timeout_after(entry.attempts))
+        # A fresh Transmission with no completion callbacks: protocol
+        # hooks (eager completion, Pready injection counting) fired on
+        # the original injection and must not fire again.
+        tx = Transmission(dst_rank=entry.dst_rank, nbytes=entry.nbytes,
+                          wire_time=entry.wire_time, latency=entry.latency,
+                          payload=entry.frame, gap=entry.gap)
+        self.nic.enqueue(tx)
+        tx.injected.callbacks.append(
+            lambda ev, entry=entry: self._arm(entry))
+
+    # -- receiver side --------------------------------------------------
+
+    def accept(self, src_rank: int, seq: int) -> bool:
+        """True when ``(src_rank, seq)`` is new; False for a duplicate."""
+        seen = self._seen.setdefault(src_rank, set())
+        if seq in seen:
+            self.stats.duplicates += 1
+            self.obs.emit(FAULT_DUPLICATE, self.sim.now, self.rank,
+                          src_rank, seq)
+            return False
+        seen.add(seq)
+        return True

@@ -32,6 +32,8 @@ def trim_outliers(values: Sequence[float],
     arr = np.sort(np.asarray(list(values), dtype=float))
     if arr.size == 0:
         raise ConfigurationError("cannot trim an empty sample set")
+    if not np.isfinite(arr).all():
+        raise ConfigurationError("sample set contains non-finite values")
     k = int(arr.size * trim_fraction)
     if k == 0:
         return arr
@@ -62,8 +64,15 @@ class SampleSummary:
 
     @property
     def relative_std(self) -> float:
-        """Coefficient of variation (0 when the mean is 0)."""
-        return self.std / abs(self.mean) if self.mean else 0.0
+        """Coefficient of variation.
+
+        A zero mean with nonzero spread is infinitely unstable relative
+        to its center, not "perfectly stable" — report ``inf``, never a
+        misleading ``0.0``.
+        """
+        if self.mean:
+            return self.std / abs(self.mean)
+        return float("inf") if self.std else 0.0
 
 
 def summarize(values: Sequence[float],
@@ -72,8 +81,10 @@ def summarize(values: Sequence[float],
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise ConfigurationError("cannot summarize an empty sample set")
-    if np.isnan(arr).any():
-        raise ConfigurationError("sample set contains NaN")
+    if not np.isfinite(arr).all():
+        # NaN *and* ±inf: one infinite sample would silently poison
+        # mean/std/max, so reject every non-finite value up front.
+        raise ConfigurationError("sample set contains non-finite values")
     return SampleSummary(
         mean=pruned_mean(arr, trim_fraction),
         median=float(np.median(arr)),

@@ -54,12 +54,20 @@ class MPIProcess:
     router:
         ``router(dst_rank, frame)`` delivering a frame into the destination
         rank's inbox (wired up by the cluster).
+    link_faults:
+        Optional :class:`~repro.faults.LinkFaults` handed to this rank's
+        NIC (``None`` = perfect fabric, zero overhead).
+    retry:
+        Optional :class:`~repro.faults.ReliableTransport`; present only
+        in lossy mode.  Wired up by the cluster *after* construction
+        because the transport needs the NIC this constructor creates.
     """
 
     def __init__(self, sim: Simulator, rank: int, fabric: Fabric,
                  spec: MachineSpec, costs: MPICosts, mode: ThreadingMode,
                  obs: EventBus,
-                 router: Callable[[int, Frame], None]):
+                 router: Callable[[int, Frame], None],
+                 link_faults=None):
         self.sim = sim
         self.rank = rank
         self.fabric = fabric
@@ -68,13 +76,17 @@ class MPIProcess:
         self.mode = mode
         self.obs = obs
         self._router = router
+        #: Reliable transport (lossy mode only); set by the cluster.
+        self.retry = None
+        #: Fail-stop flag mirrored onto the NIC by the cluster.
+        self.failed = False
 
         self.cache = CacheModel(spec)
         self.numa = NUMAModel(spec)
         self.lock = Mutex(sim, name=f"rank{rank}.liblock")
         self.matching = MatchingEngine()
         self.inbox: Store = Store(sim, name=f"rank{rank}.inbox")
-        self.nic = NIC(sim, rank, router, obs=obs)
+        self.nic = NIC(sim, rank, router, obs=obs, faults=link_faults)
         self._match_cost = fabric.inter_node.match_cost
         self._in_mpi = 0
         #: Threads currently spin-waiting inside a blocking MPI call; under
@@ -162,6 +174,10 @@ class MPIProcess:
 
         ``wire_bytes`` is what occupies the link (0 for control frames,
         which are clamped to the path's minimum message size).
+
+        In lossy mode every frame except the ACKs themselves is handed
+        to the reliable transport first: it stamps ``frame.seq`` and
+        arms the ACK-timeout retransmission timer on injection.
         """
         params = self.fabric.params_between(self.rank, dst_rank)
         tx = Transmission(
@@ -172,7 +188,11 @@ class MPIProcess:
             payload=frame,
             gap=params.injection_gap,
         )
-        return self.nic.enqueue(tx)
+        retry = self.retry
+        self.nic.enqueue(tx)
+        if retry is not None and frame.kind is not FrameKind.ACK:
+            retry.track(tx, frame)
+        return tx
 
     def deliver(self, frame: Frame) -> None:
         """Entry point used by the fabric: enqueue into our inbox."""
@@ -286,6 +306,19 @@ class MPIProcess:
 
     def _handle_frame(self, frame: Frame):
         kind = frame.kind
+        retry = self.retry
+        if retry is not None:
+            if kind is FrameKind.ACK:
+                retry.on_ack(frame.src_rank, frame.seq)
+                return
+            if frame.seq >= 0:
+                # ACK first — a duplicate usually means our previous ACK
+                # was lost, so the sender needs a fresh one either way.
+                self.transmit(frame.src_rank, 0,
+                              Frame(FrameKind.ACK, self.rank,
+                                    frame.src_rank, seq=frame.seq))
+                if not retry.accept(frame.src_rank, frame.seq):
+                    return  # duplicate delivery: already handled once
         if kind is FrameKind.EAGER or kind is FrameKind.RTS:
             yield from self._handle_match(frame)
         elif kind is FrameKind.CTS:

@@ -78,6 +78,11 @@ class NetworkParams:
     match_cost: float = 30e-9
     min_message_bytes: int = 16
 
+    def __post_init__(self) -> None:
+        # Fail at construction: an invalid override (bandwidth=0, mtu=0)
+        # must not survive until wire_time divides by it mid-sweep.
+        validate_params(self)
+
     def wire_time(self, nbytes: int) -> float:
         """Serialization time of ``nbytes`` on the link, incl. packet headers."""
         if nbytes < 0:
@@ -97,7 +102,11 @@ class NetworkParams:
         return nbytes <= self.eager_threshold
 
     def with_overrides(self, **kwargs) -> "NetworkParams":
-        """Copy with fields replaced — used by protocol/lock ablations."""
+        """Copy with fields replaced — used by protocol/lock ablations.
+
+        ``replace`` re-runs ``__post_init__``, so an invalid override
+        raises :class:`~repro.errors.ConfigurationError` immediately.
+        """
         return replace(self, **kwargs)
 
 

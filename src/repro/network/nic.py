@@ -82,15 +82,26 @@ class NIC:
     obs:
         Instrumentation bus ``nic.tx_*`` events go to; a private empty bus
         when omitted, so standalone NICs stay valid and emission free.
+    faults:
+        Optional :class:`~repro.faults.LinkFaults` decision engine.  When
+        ``None`` (the default) the transmit loop pays exactly one ``is
+        not None`` test per injection and nothing else — the budget the
+        ``faults_off_overhead`` kernel in ``scripts/bench_guard.py``
+        enforces.
     """
 
     def __init__(self, sim: Simulator, rank: int,
                  deliver: Callable[[int, Any], None],
-                 obs: Optional[EventBus] = None):
+                 obs: Optional[EventBus] = None,
+                 faults=None):
         self.sim = sim
         self.rank = rank
         self.deliver = deliver
         self.obs = obs if obs is not None else EventBus()
+        self.faults = faults
+        #: Fail-stop flag: a failed NIC silently discards everything it
+        #: is asked to inject (the rank is dead, not slow).
+        self.failed = False
         self.stats = NICStats()
         self._queue: Store = Store(sim, name=f"nic{rank}.tx")
         sim.process(self._tx_worker(), name=f"nic{rank}")
@@ -115,20 +126,37 @@ class NIC:
         """Serialize injections; runs for the life of the simulation."""
         while True:
             tx: Transmission = yield self._queue.get()
+            faults = self.faults
+            wire_time = tx.wire_time
+            latency = tx.latency
+            if faults is not None:
+                if self.failed:
+                    # Fail-stopped rank: nothing leaves the NIC.  The
+                    # injected event never fires, so no completion hooks
+                    # or retry timers run for this frame.
+                    faults.note_drop(tx)
+                    continue
+                stall = faults.stall_delay(self.sim.now)
+                if stall > 0.0:
+                    yield self.sim.sleep(stall)
+                wire_time, latency = faults.degraded(
+                    self.sim.now, tx.dst_rank, wire_time, latency)
             start = self.sim.now
             self.obs.emit(NIC_TX_START, start, self.rank, tx.dst_rank,
                           tx.nbytes)
-            yield self.sim.sleep(tx.gap + tx.wire_time)
+            yield self.sim.sleep(tx.gap + wire_time)
             self.stats.messages += 1
             self.stats.bytes += tx.nbytes
             self.stats.busy_time += self.sim.now - start
             self.obs.emit(NIC_TX_DONE, self.sim.now, self.rank, tx.dst_rank,
                           tx.nbytes)
             tx.injected.succeed(self.sim.now)
-            self._deliver_later(tx)
+            if faults is not None and faults.drop(tx):
+                continue  # the fabric ate it; retransmission recovers
+            self._deliver_later(tx, latency)
 
-    def _deliver_later(self, tx: Transmission) -> None:
+    def _deliver_later(self, tx: Transmission, latency: float) -> None:
         """Schedule the destination-side delivery after propagation."""
-        timeout = self.sim.timeout(tx.latency, value=tx)
+        timeout = self.sim.timeout(latency, value=tx)
         timeout.callbacks.append(
             lambda ev: self.deliver(ev.value.dst_rank, ev.value.payload))

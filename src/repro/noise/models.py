@@ -108,6 +108,15 @@ class SingleThreadNoise(_PercentNoise):
 
     def __init__(self, noise_percent: float, victim: Optional[int] = None):
         super().__init__(noise_percent)
+        if victim is not None:
+            # Catch a bad fixed victim at construction, not on the first
+            # trial that happens to call compute_times.
+            if not isinstance(victim, int) or isinstance(victim, bool):
+                raise ConfigurationError(
+                    f"victim thread index must be an int: {victim!r}")
+            if victim < 0:
+                raise ConfigurationError(
+                    f"victim thread index must be >= 0: {victim}")
         #: Fix the delayed thread (None = choose uniformly per trial).
         self.victim = victim
 
@@ -118,7 +127,9 @@ class SingleThreadNoise(_PercentNoise):
         times = np.full(nthreads, compute_seconds, dtype=float)
         victim = (self.victim if self.victim is not None
                   else int(rng.integers(nthreads)))
-        if not (0 <= victim < nthreads):
+        if victim >= nthreads:
+            # Team size is only known here, so the upper bound stays a
+            # compute-time check even though sign/type are construction-time.
             raise ConfigurationError(
                 f"victim thread {victim} outside team of {nthreads}")
         times[victim] += compute_seconds * self.fraction
@@ -184,8 +195,15 @@ def noise_model_from_name(name: str, noise_percent: float = 0.0) -> NoiseModel:
     """Factory used by the CLI-style sweep configs.
 
     ``name`` is one of ``none``, ``single``, ``uniform``, ``gaussian``,
-    ``exponential``.
+    ``exponential``.  Passing a nonzero ``noise_percent`` together with
+    ``"none"`` is a contradiction — the percent would be silently
+    discarded and the sweep would report clean numbers for a config that
+    asked for noise — so it raises instead.
     """
+    if name == "none" and noise_percent != 0:
+        raise ConfigurationError(
+            f"noise model 'none' cannot carry noise_percent="
+            f"{noise_percent:g}; drop the percent or pick a noisy model")
     table = {
         "none": lambda: NoNoise(),
         "single": lambda: SingleThreadNoise(noise_percent),

@@ -61,6 +61,11 @@ class ThreadContext:
         """
         wall = scaled_compute_time(seconds, self.share,
                                    self.rank_ctx.spec)
+        # Fault-plan per-rank slowdown (getattr: bare mock contexts in
+        # tests carry no compute_scale and mean 1.0).
+        scale = getattr(self.rank_ctx, "compute_scale", 1.0)
+        if scale != 1.0:
+            wall *= scale
         if wall > 0:
             yield self.sim.sleep(wall)
         self.rank_ctx.obs.emit(THREAD_COMPUTED, self.sim.now, self.rank,

@@ -1,0 +1,23 @@
+"""Static fixture: hand-rolled cache key that ignores the fault plan."""
+
+import hashlib
+
+
+def experiment_cache_key(cfg):
+    # Enumerates "the fields that matter" by hand — and forgets that a
+    # fault plan changes every simulated result.
+    blob = (f"{cfg.message_bytes}|{cfg.partitions}|{cfg.seed}|"
+            f"{cfg.impl}|{cfg.iterations}")
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def safe_fingerprint(cfg):
+    # Reads .faults alongside the enumerated fields: not flagged.
+    blob = (f"{cfg.message_bytes}|{cfg.partitions}|{cfg.seed}|"
+            f"{cfg.faults}")
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def generic_fingerprint(cfg):
+    # Generic canonicalization (no per-field enumeration): not flagged.
+    return hashlib.sha256(repr(cfg).encode()).hexdigest()

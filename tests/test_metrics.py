@@ -134,6 +134,14 @@ class TestStatistics:
         with pytest.raises(ConfigurationError):
             summarize([1.0, float("nan")])
 
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf")])
+    def test_infinities_rejected(self, bad):
+        # Any non-finite sample poisons the pruned mean, not just NaN.
+        with pytest.raises(ConfigurationError):
+            summarize([1.0, bad])
+        with pytest.raises(ConfigurationError):
+            pruned_mean([1.0, bad, 2.0])
+
     def test_summary_fields(self):
         s = summarize([1.0, 2.0, 3.0, 4.0])
         assert isinstance(s, SampleSummary)
@@ -147,3 +155,8 @@ class TestStatistics:
 
     def test_relative_std_zero_mean(self):
         assert summarize([0.0, 0.0]).relative_std == 0.0
+
+    def test_relative_std_zero_mean_with_spread(self):
+        # Mean 0 with nonzero spread: infinite relative dispersion, not
+        # a ZeroDivisionError and not a silent 0.
+        assert summarize([-1.0, 1.0]).relative_std == float("inf")

@@ -45,6 +45,16 @@ class TestNetworkParams:
         assert not alt.is_eager(1)
         assert NIAGARA_EDR.is_eager(1)
 
+    def test_invalid_params_rejected_at_construction(self):
+        # Validation runs in __post_init__, so a bad override can never
+        # produce a live (but nonsensical) params object.
+        with pytest.raises(ConfigurationError):
+            NIAGARA_EDR.with_overrides(bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            NetworkParams(bandwidth=1e9, mtu=0)
+        with pytest.raises(ConfigurationError):
+            NetworkParams(bandwidth=1e9, latency=-1)
+
 
 class TestPlacement:
     def test_one_per_node(self):

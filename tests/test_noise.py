@@ -52,6 +52,14 @@ class TestSingleThreadNoise:
         with pytest.raises(ConfigurationError):
             SingleThreadNoise(4.0, victim=9).compute_times(_rng(), 4, 0.01)
 
+    def test_bad_victim_rejected_at_construction(self):
+        # A victim that can never be valid fails immediately, not on the
+        # first compute_times call deep inside a sweep.
+        with pytest.raises(ConfigurationError):
+            SingleThreadNoise(4.0, victim=-1)
+        with pytest.raises(ConfigurationError):
+            SingleThreadNoise(4.0, victim=True)  # bool is not a thread id
+
     def test_negative_percent_rejected(self):
         with pytest.raises(ConfigurationError):
             SingleThreadNoise(-1.0)
@@ -153,6 +161,13 @@ class TestFactory:
     def test_unknown_name_rejected(self):
         with pytest.raises(ConfigurationError):
             noise_model_from_name("pink")
+
+    def test_none_with_percent_rejected(self):
+        # "none" with a nonzero magnitude is a contradiction the factory
+        # must not silently drop (the CLI used to do exactly that).
+        with pytest.raises(ConfigurationError):
+            noise_model_from_name("none", 50.0)
+        assert isinstance(noise_model_from_name("none", 0.0), NoNoise)
 
     def test_describe(self):
         assert "uniform" in UniformNoise(4.0).describe()
