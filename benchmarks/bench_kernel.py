@@ -9,6 +9,7 @@ timer and fails CI on >2x regressions against ``BENCH_BASELINE.json``;
 keep the two in sync when adding kernels here.
 """
 
+from repro.analysis import lint_source
 from repro.core import (PtpBenchmarkConfig, PtpResult, SweepPoint,
                         SweepResult, run_ptp_benchmark)
 from repro.obs import CounterSink, EventBus
@@ -141,6 +142,54 @@ def test_obs_emission_counted(benchmark):
 
     assert benchmark(run)
     assert counters.count("part.pready") >= 10_000
+
+
+def _lint_workload() -> str:
+    """A synthetic ~400-line module exercising both analyzer passes.
+
+    Each function carries a full partitioned epoch with loops and
+    branches, so the flow pass builds a CFG and runs its fixpoint per
+    function while the pattern pass walks the same AST.  Synthesized
+    (not read from the tree) so the score does not drift when unrelated
+    shipped code changes.
+    """
+    template = (
+        "def exchange_{i}(ctx, comm, tc):\n"
+        "    ps = yield from comm.psend_init(tc, 1, {i}, 4096, 8)\n"
+        "    pr = yield from comm.precv_init(tc, 1, {i}, 4096, 8)\n"
+        "    for epoch in range(4):\n"
+        "        yield from ps.start(tc)\n"
+        "        yield from pr.start(tc)\n"
+        "        for p in range(0, 4):\n"
+        "            ps.note_buffer_write(p)\n"
+        "            yield from ps.pready(tc, p)\n"
+        "        if epoch > 1:\n"
+        "            yield from ps.pready_range(tc, 4, 5)\n"
+        "            yield from ps.pready_range(tc, 6, 7)\n"
+        "        else:\n"
+        "            for p in range(4, 8):\n"
+        "                yield from ps.pready(tc, p)\n"
+        "        yield from ps.wait(tc)\n"
+        "        yield from pr.wait(tc)\n"
+        "    return ps, pr\n"
+    )
+    return "\n".join(template.format(i=i) for i in range(16))
+
+
+def test_lint_throughput(benchmark):
+    """Both simlint passes over a synthetic module (guards analyzer cost).
+
+    The flow-sensitive pass runs a worklist fixpoint per function; this
+    keeps its cost visible so CFG or domain changes that blow up lint
+    time on the shipped ``lint src/repro benchmarks examples`` CI step
+    get caught here first.
+    """
+    source = _lint_workload()
+
+    def run():
+        return lint_source(source, "workload.py")
+
+    assert benchmark(run) == []
 
 
 def test_end_to_end_trial_cost(benchmark):

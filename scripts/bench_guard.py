@@ -35,6 +35,7 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.analysis import lint_source  # noqa: E402
 from repro.core import (PtpBenchmarkConfig, PtpResult, SweepPoint,  # noqa: E402
                         SweepResult, run_ptp_benchmark)
 from repro.obs import CounterSink, EventBus  # noqa: E402
@@ -178,6 +179,43 @@ def obs_emission_counted():
     return counters.total
 
 
+def _lint_workload() -> str:
+    """Synthetic lint workload — keep in sync with bench_kernel.py."""
+    template = (
+        "def exchange_{i}(ctx, comm, tc):\n"
+        "    ps = yield from comm.psend_init(tc, 1, {i}, 4096, 8)\n"
+        "    pr = yield from comm.precv_init(tc, 1, {i}, 4096, 8)\n"
+        "    for epoch in range(4):\n"
+        "        yield from ps.start(tc)\n"
+        "        yield from pr.start(tc)\n"
+        "        for p in range(0, 4):\n"
+        "            ps.note_buffer_write(p)\n"
+        "            yield from ps.pready(tc, p)\n"
+        "        if epoch > 1:\n"
+        "            yield from ps.pready_range(tc, 4, 5)\n"
+        "            yield from ps.pready_range(tc, 6, 7)\n"
+        "        else:\n"
+        "            for p in range(4, 8):\n"
+        "                yield from ps.pready(tc, p)\n"
+        "        yield from ps.wait(tc)\n"
+        "        yield from pr.wait(tc)\n"
+        "    return ps, pr\n"
+    )
+    return "\n".join(template.format(i=i) for i in range(16))
+
+
+_LINT_SOURCE = None
+
+
+def lint_throughput():
+    global _LINT_SOURCE
+    if _LINT_SOURCE is None:
+        _LINT_SOURCE = _lint_workload()
+    findings = lint_source(_LINT_SOURCE, "workload.py")
+    assert findings == []
+    return len(findings)
+
+
 KERNELS = {
     "timeout_dispatch": timeout_dispatch,
     "never_waited_timeouts": never_waited_timeouts,
@@ -188,6 +226,7 @@ KERNELS = {
     "sweep_point_lookup": sweep_point_lookup,
     "obs_emission_disabled": obs_emission_disabled,
     "obs_emission_counted": obs_emission_counted,
+    "lint_throughput": lint_throughput,
 }
 
 #: Per-kernel regression budgets overriding ``--threshold``.  Emission
@@ -204,6 +243,11 @@ THRESHOLDS = {
     # the ring / bucket / free-list wins from silently eroding.
     "timeout_dispatch": 1.25,
     "store_handoff": 1.25,
+    # Both analyzer passes over the synthetic workload: the CI lint step
+    # runs over the whole tree, so a super-linear blow-up in the flow
+    # pass (CFG size, fixpoint visits) must not hide behind the 2x
+    # default for long.
+    "lint_throughput": 1.5,
 }
 
 

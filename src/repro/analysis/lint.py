@@ -1,11 +1,14 @@
 """``simlint`` — the static half of :mod:`repro.analysis`.
 
 An AST-based linter for programs written against the simulated substrate
-(:mod:`repro.sim`, :mod:`repro.mpi`, :mod:`repro.partitioned`).  It scans
-Python sources for determinism hazards and simulation-API misuse — the
-mistakes that silently corrupt *reproducibility*, which benchmarking
-methodology work (Hunold & Carpen-Amarie) identifies as the thing a
-benchmark suite must protect first.
+(:mod:`repro.sim`, :mod:`repro.mpi`, :mod:`repro.partitioned`).  Two
+passes run over every module:
+
+* the **pattern** pass — per-node rules for determinism hazards and
+  simulation-API misuse (SIM101–SIM108);
+* the **flow-sensitive** pass (``simcheck``,
+  :mod:`repro.analysis.protocol`) — CFG + abstract interpretation of the
+  partitioned-request lifecycle (SIM110–SIM115).
 
 Usage::
 
@@ -14,19 +17,27 @@ Usage::
 
 or from a shell: ``python -m repro lint src/repro benchmarks examples``.
 
-A finding on a given line can be suppressed by appending the comment
-``# simlint: skip`` to that line.
+Suppression comments:
+
+* ``# simlint: skip`` silences every finding on its line;
+* ``# simlint: disable=SIM103`` (or ``disable=SIM103,SIM110``) silences
+  only the named rules on its line.  Naming a rule id that does not
+  exist is itself reported (SIM109) — a typo'd suppression guards
+  nothing and should not pass silently.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, \
+    Tuple
 
 from ..errors import ConfigurationError
-from .findings import Finding
-from .rules import static_rules
+from .findings import Finding, sort_findings
+from .protocol import FLOW_RULE_IDS, analyze_module
+from .rules import known_rule_ids, static_rules
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
 
@@ -36,14 +47,46 @@ SKIP_MARKER = "simlint: skip"
 #: Rule id reported for files the parser rejects.
 PARSE_ERROR_RULE = "SIM100"
 
+#: Rule id for suppression comments naming unknown rule ids.
+UNKNOWN_SUPPRESSION_RULE = "SIM109"
 
-def _suppressed_lines(source: str) -> Set[int]:
-    """Line numbers (1-based) carrying the ``# simlint: skip`` marker."""
-    return {
-        i
-        for i, line in enumerate(source.splitlines(), start=1)
-        if SKIP_MARKER in line
-    }
+#: ``# simlint: disable=SIM103,SIM110`` (ids validated separately).
+_DISABLE_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_suppressions(source: str, filename: str
+                        ) -> Tuple[Set[int], Dict[int, Set[str]],
+                                   List[Finding]]:
+    """Parse suppression comments out of ``source``.
+
+    Returns ``(blanket_lines, per_rule_lines, warnings)`` where
+    ``blanket_lines`` holds 1-based line numbers carrying
+    ``# simlint: skip``, ``per_rule_lines`` maps line numbers to the rule
+    ids disabled there, and ``warnings`` are SIM109 findings for unknown
+    ids named in ``disable=`` comments.
+    """
+    blanket: Set[int] = set()
+    per_rule: Dict[int, Set[str]] = {}
+    warnings: List[Finding] = []
+    known = set(known_rule_ids())
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if SKIP_MARKER in line:
+            blanket.add(lineno)
+        match = _DISABLE_RE.search(line)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",")
+               if part.strip()}
+        for rule_id in sorted(ids - known):
+            warnings.append(Finding(
+                rule=UNKNOWN_SUPPRESSION_RULE,
+                message=f"suppression comment names unknown rule id "
+                        f"{rule_id!r} (known ids: SIM1xx/PART/RES/FIN; "
+                        f"see docs/analysis.md)",
+                file=filename, line=lineno,
+                col=max(line.find("#"), 0), severity="warning"))
+        per_rule.setdefault(lineno, set()).update(ids & known)
+    return blanket, per_rule, warnings
 
 
 def _selected_rules(disabled: Optional[Iterable[str]]):
@@ -55,8 +98,11 @@ def lint_source(source: str, filename: str = "<string>",
                 disabled: Optional[Iterable[str]] = None) -> List[Finding]:
     """Lint one module's source text; returns findings sorted by location.
 
-    ``disabled`` is an iterable of rule ids to leave out.  A file that does
-    not parse produces a single ``SIM100`` finding instead of raising.
+    Both passes run (pattern rules, then the flow-sensitive protocol
+    pass); ``disabled`` is an iterable of rule ids to leave out of
+    either.  Findings are deduplicated and sorted by
+    ``(path, line, col, rule, message)``.  A file that does not parse
+    produces a single ``SIM100`` finding instead of raising.
     """
     try:
         tree = ast.parse(source, filename=filename)
@@ -64,14 +110,22 @@ def lint_source(source: str, filename: str = "<string>",
         return [Finding(rule=PARSE_ERROR_RULE,
                         message=f"file does not parse: {exc.msg}",
                         file=filename, line=exc.lineno or 0)]
-    skip = _suppressed_lines(source)
+    banned = frozenset(disabled or ())
+    blanket, per_rule, warnings = _parse_suppressions(source, filename)
     findings: List[Finding] = []
-    for rule in _selected_rules(disabled):
-        for finding in rule.check(tree, filename):
-            if finding.line not in skip:
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.file, f.line, f.rule))
-    return findings
+    if UNKNOWN_SUPPRESSION_RULE not in banned:
+        findings.extend(warnings)
+    for rule in _selected_rules(banned):
+        findings.extend(rule.check(tree, filename))
+    flow_enabled = FLOW_RULE_IDS - banned
+    if flow_enabled:
+        findings.extend(analyze_module(tree, filename,
+                                       enabled=flow_enabled))
+    kept = [
+        f for f in findings
+        if f.line not in blanket and f.rule not in per_rule.get(f.line, ())
+    ]
+    return sort_findings(kept)
 
 
 def lint_file(path, disabled: Optional[Iterable[str]] = None) -> List[Finding]:

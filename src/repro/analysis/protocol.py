@@ -1,0 +1,805 @@
+"""``simcheck`` — flow-sensitive verification of the partitioned lifecycle.
+
+The dynamic checker (:mod:`repro.analysis.checker`) only catches the
+schedules a trial happens to execute; this module proves lifecycle
+properties *statically*, before a simulation runs.  For every function in
+a module it builds a CFG (:mod:`repro.analysis.cfg`) and abstractly
+interprets partitioned-request protocol state through it
+(:mod:`repro.analysis.absint` supplies the domains and the fixpoint
+solver):
+
+* each variable bound by ``psend_init``/``precv_init`` (or a direct
+  ``PartitionedSendRequest``/``PartitionedRecvRequest`` construction) is
+  tracked through the lifecycle lattice *created → started → waited*,
+  joined path-insensitively as a set of possible states;
+* the partitions readied in the current epoch are tracked as two
+  :class:`~repro.analysis.absint.IndexSet` abstractions — ``must``
+  (readied on every path, joined by intersection) and ``may`` (readied
+  on some path, joined by union);
+* integer locals and module constants flow through an interval domain,
+  so ``range(lo, hi)`` loops and ``pready_range``/``pready_list`` calls
+  contribute whole index ranges.  A ``for i in range(lo, hi)`` loop with
+  a straight-line body is interpreted by a loop *summary* (the body is
+  replayed with ``i`` bound to ``[lo, hi-1]``, twice when it may repeat
+  without an epoch reset) instead of a fixpoint, which is what keeps the
+  early-bird loop-split idiom — half the partitions readied in one loop,
+  the rest in a later one — provably clean.
+
+The verdicts are rules SIM110–SIM115 (see :data:`FLOW_RULES`); they are
+the static twins of the dynamic ``PART``/``FIN`` rules.  Every check is
+conservative: unknown indices, unknown partition counts and unrecognized
+control flow degrade to silence, never to a false alarm.  Entry point:
+:func:`analyze_module`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .absint import Interval, IndexSet, fixpoint
+from .cfg import LoopBind, build_cfg
+from .findings import Finding
+
+__all__ = ["FLOW_RULES", "FLOW_RULE_IDS", "analyze_module"]
+
+#: The flow-sensitive rule set: id -> (name, summary, fix hint).
+FLOW_RULES = {
+    "SIM110": (
+        "partition-bounds",
+        "partition index possibly outside [0, partitions) in "
+        "pready/pready_range/pready_list/parrived/buffer annotations",
+        "partition indices must lie in [0, partitions); check loop and "
+        "range bounds against the partition count"),
+    "SIM111": (
+        "ready-divergence",
+        "a partition is readied on one branch but not on every path "
+        "reaching the epoch's wait()",
+        "ready every partition on every path: move the pready out of the "
+        "branch or mirror it in the other arm"),
+    "SIM112": (
+        "static-double-pready",
+        "the same partition is readied twice within one epoch",
+        "each partition may be readied exactly once per epoch; reset "
+        "epochs with start() after wait()"),
+    "SIM113": (
+        "lifecycle-order",
+        "pready/parrived/wait used against the request state machine "
+        "(before start(), after wait(), or start() on an active epoch)",
+        "order calls start() -> pready()/parrived() -> wait() within "
+        "each epoch"),
+    "SIM114": (
+        "epoch-leak",
+        "a started partitioned request is not waited on some normal "
+        "exit path of the function that created it",
+        "every start() needs a matching wait() on every exit path "
+        "(or hand the request out instead of dropping it)"),
+    "SIM115": (
+        "static-write-after-ready",
+        "note_buffer_write() on a partition after its pready in the same "
+        "epoch — the static twin of the dynamic write-after-pready race",
+        "finish writing a partition before marking it ready"),
+}
+
+FLOW_RULE_IDS = frozenset(FLOW_RULES)
+
+#: Methods understood by the request transfer functions.
+_LIFECYCLE_METHODS = frozenset({
+    "start", "wait", "test", "pready", "pready_range", "pready_list",
+    "parrived", "note_buffer_write", "note_buffer_read", "arrived_event",
+})
+
+_INIT_METHODS = {"psend_init": "send", "precv_init": "recv"}
+_INIT_CONSTRUCTORS = {"PartitionedSendRequest": "send",
+                      "PartitionedRecvRequest": "recv"}
+
+_CREATED = "created"
+_STARTED = "started"
+_WAITED = "waited"
+
+_ONLY_CREATED = frozenset((_CREATED,))
+_ONLY_STARTED = frozenset((_STARTED,))
+_ONLY_WAITED = frozenset((_WAITED,))
+
+
+@dataclass(frozen=True)
+class ReqState:
+    """Abstract protocol state of one tracked request variable."""
+
+    kind: str                      # "send" | "recv"
+    partitions: Optional[int]      # declared count, when statically known
+    lifecycle: frozenset           # subset of {created, started, waited}
+    must: IndexSet                 # readied on every path this epoch
+    may: IndexSet                  # readied on some path this epoch
+    unknown_ready: bool            # an unrepresentable pready happened
+    escaped: bool                  # left the function's hands
+    name: str                      # source variable name
+    line: int                      # creation site (for SIM114 anchoring)
+    col: int
+
+
+def _join_req(a: ReqState, b: ReqState) -> ReqState:
+    if a == b:
+        return a
+    return ReqState(
+        kind=a.kind if a.kind == b.kind else "unknown",
+        partitions=a.partitions if a.partitions == b.partitions else None,
+        lifecycle=a.lifecycle | b.lifecycle,
+        must=a.must.intersect(b.must),
+        may=a.may.union(b.may),
+        unknown_ready=a.unknown_ready or b.unknown_ready,
+        escaped=a.escaped or b.escaped,
+        name=a.name, line=a.line, col=a.col)
+
+
+class Env:
+    """Abstract state: tracked requests plus integer locals."""
+
+    __slots__ = ("reqs", "ints")
+
+    def __init__(self, reqs: Optional[Dict[str, ReqState]] = None,
+                 ints: Optional[Dict[str, Interval]] = None):
+        self.reqs = reqs or {}
+        self.ints = ints or {}
+
+    def copy(self) -> "Env":
+        return Env(dict(self.reqs), dict(self.ints))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Env) and self.reqs == other.reqs
+                and self.ints == other.ints)
+
+    def __hash__(self):  # pragma: no cover - envs are not hashed
+        raise TypeError("Env is unhashable")
+
+
+def _join_env(a: Env, b: Env) -> Env:
+    reqs: Dict[str, ReqState] = {}
+    for key in sorted(set(a.reqs) | set(b.reqs)):
+        if key in a.reqs and key in b.reqs:
+            reqs[key] = _join_req(a.reqs[key], b.reqs[key])
+        else:
+            reqs[key] = a.reqs.get(key) or b.reqs[key]
+    ints = {}
+    for key in sorted(set(a.ints) & set(b.ints)):
+        ints[key] = a.ints[key].join(b.ints[key])
+    return Env(reqs, ints)
+
+
+def _widen_env(old: Env, new: Env) -> Env:
+    joined = _join_env(old, new)
+    for key, iv in list(joined.ints.items()):
+        if key in old.ints:
+            joined.ints[key] = old.ints[key].widen(iv)
+    return joined
+
+
+def _unwrap_value(node: ast.AST) -> ast.AST:
+    """Peel ``yield from`` / ``await`` / ``yield`` wrappers off a value."""
+    while isinstance(node, (ast.YieldFrom, ast.Await)):
+        node = node.value
+    if isinstance(node, ast.Yield) and node.value is not None:
+        node = node.value
+    return node
+
+
+def _creation_call(node: ast.AST) -> Optional[Tuple[ast.Call, str]]:
+    """Recognize a request-creating call; returns ``(call, kind)``."""
+    node = _unwrap_value(node)
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _INIT_METHODS:
+        return node, _INIT_METHODS[func.attr]
+    if isinstance(func, ast.Name) and func.id in _INIT_CONSTRUCTORS:
+        return node, _INIT_CONSTRUCTORS[func.id]
+    return None
+
+
+def _call_arg(call: ast.Call, index: int, keyword: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > index:
+        return call.args[index]
+    return None
+
+
+def _receiver_key(node: ast.AST) -> Optional[str]:
+    """Stable key for a method receiver: a name or a dotted-name chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _receiver_key(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _uses_name(node: ast.AST, name: str) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == name
+               for n in ast.walk(node))
+
+
+def _eval_expr(node: ast.AST, env: "Env") -> Interval:
+    """Interval abstraction of an integer expression (TOP when unknown)."""
+    node = _unwrap_value(node)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return Interval.const(node.value)
+    if isinstance(node, ast.Name):
+        return env.ints.get(node.id, Interval.top())
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _eval_expr(node.operand, env).neg()
+    if isinstance(node, ast.BinOp):
+        left = _eval_expr(node.left, env)
+        right = _eval_expr(node.right, env)
+        if isinstance(node.op, ast.Add):
+            return left.add(right)
+        if isinstance(node.op, ast.Sub):
+            return left.sub(right)
+        if isinstance(node.op, ast.Mult) and right.is_singleton:
+            return left.mul_const(right.lo)
+        if isinstance(node.op, ast.Mult) and left.is_singleton:
+            return right.mul_const(left.lo)
+        if left.is_singleton and right.is_singleton:
+            try:
+                if isinstance(node.op, ast.LShift):
+                    return Interval.const(left.lo << right.lo)
+                if isinstance(node.op, ast.RShift):
+                    return Interval.const(left.lo >> right.lo)
+                if isinstance(node.op, ast.FloorDiv) and right.lo != 0:
+                    return Interval.const(left.lo // right.lo)
+                if isinstance(node.op, ast.Mod) and right.lo != 0:
+                    return Interval.const(left.lo % right.lo)
+            except (OverflowError, ValueError):  # pragma: no cover
+                return Interval.top()
+    return Interval.top()
+
+
+@dataclass
+class _LoopCtx:
+    """Summary-loop context: the bound variable and its definite range."""
+
+    var: str
+    bounds: Optional[Tuple[int, int]]   # inclusive [lo, hi], when constant
+    repeat: bool                        # replay pass of a may-repeat loop
+
+
+class _FunctionAnalysis:
+    """CFG + fixpoint + reporting pass for one function."""
+
+    def __init__(self, func: ast.AST, filename: str, enabled: Set[str],
+                 module_ints: Dict[str, Interval], out: List[Finding]):
+        self.func = func
+        self.filename = filename
+        self.enabled = enabled
+        self.out = out
+        self.module_ints = module_ints
+        self.closure_names = self._closure_names(func)
+
+    # -- driver -----------------------------------------------------------
+    def run(self) -> None:
+        cfg = build_cfg(self.func, atomic_for=self._summarizable)
+        entry = Env(ints=self._entry_ints())
+        try:
+            instate = fixpoint(cfg, entry, self._transfer_block, _join_env,
+                               widen=_widen_env)
+        except RecursionError:  # pragma: no cover - defensive
+            return
+        # Reporting pass: replay each reachable block once against its
+        # stable in-state, with findings enabled.
+        for bid in sorted(instate):
+            if bid in (cfg.exit, cfg.raise_exit):
+                continue
+            self._transfer_block(cfg.blocks[bid], instate[bid], report=True)
+        self._check_leaks(instate.get(cfg.exit))
+
+    def _entry_ints(self) -> Dict[str, Interval]:
+        ints = dict(self.module_ints)
+        args = self.func.args
+        params = [a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        for name in params:
+            ints.pop(name, None)
+        return ints
+
+    @staticmethod
+    def _closure_names(func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if node is func or not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.Lambda)):
+                continue
+            names.update(n.id for n in ast.walk(node)
+                         if isinstance(n, ast.Name))
+        return names
+
+    # -- findings ---------------------------------------------------------
+    def _emit(self, report: bool, rule: str, node, message: str,
+              severity: str = "error") -> None:
+        if not report or rule not in self.enabled:
+            return
+        if isinstance(node, ReqState):
+            line, col = node.line, node.col
+        else:
+            line = getattr(node, "lineno", 0)
+            col = getattr(node, "col_offset", 0)
+        self.out.append(Finding(
+            rule=rule, message=message, file=self.filename,
+            line=line, col=col,
+            severity=severity, fix_hint=FLOW_RULES[rule][2]))
+
+    # -- summarizable loops -----------------------------------------------
+    def _summarizable(self, node: ast.For) -> bool:
+        """A ``for NAME in range(...)`` loop with a straight-line body."""
+        if not isinstance(node.target, ast.Name) or node.orelse:
+            return False
+        it = node.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range" and not it.keywords
+                and 1 <= len(it.args) <= 3):
+            return False
+        simple = (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign,
+                  ast.Pass)
+        return all(isinstance(stmt, simple) for stmt in node.body)
+
+    def _range_bounds(self, it: ast.Call, env: Env
+                      ) -> Tuple[Interval, Optional[Tuple[int, int]]]:
+        """Loop-variable interval and, when constant, the exact bounds.
+
+        Returns ``(hull, exact)`` where ``exact`` is the inclusive
+        ``(lo, hi)`` pair for a definite unit-stride range, else None.
+        """
+        args = it.args
+        if len(args) == 1:
+            lo_iv, hi_iv = Interval.const(0), self._eval(args[0], env)
+            step_one = True
+        else:
+            lo_iv = self._eval(args[0], env)
+            hi_iv = self._eval(args[1], env)
+            step = self._eval(args[2], env) if len(args) > 2 else \
+                Interval.const(1)
+            step_one = step.is_singleton and step.lo == 1
+        if not step_one:
+            return Interval.top(), None
+        hull_lo = lo_iv.lo
+        hull_hi = hi_iv.hi - 1 if hi_iv.is_bounded else hi_iv.hi
+        if hull_lo > hull_hi:
+            return Interval.top(), None
+        hull = Interval(hull_lo, hull_hi)
+        if lo_iv.is_singleton and hi_iv.is_singleton:
+            return hull, (lo_iv.lo, hi_iv.lo - 1)
+        return hull, None
+
+    # -- transfer functions ----------------------------------------------
+    def _transfer_block(self, block, env: Env, report: bool = False) -> Env:
+        env = env.copy()
+        for atom in block.atoms:
+            env = self._transfer_stmt(atom, env, report, None)
+        return env
+
+    def _transfer_stmt(self, stmt, env: Env, report: bool,
+                       loop: Optional[_LoopCtx]) -> Env:
+        if isinstance(stmt, LoopBind):
+            return self._bind_loop_var(stmt.node, env)
+        if isinstance(stmt, ast.For):
+            return self._summary_for(stmt, env, report)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            return self._assign(stmt, env, report, loop)
+        if isinstance(stmt, ast.AugAssign):
+            return self._augassign(stmt, env, report, loop)
+        # Everything else: interpret calls + escapes within the statement.
+        return self._effects(stmt, env, report, loop)
+
+    def _bind_loop_var(self, node: ast.For, env: Env) -> Env:
+        env = env.copy()
+        target = node.target
+        names = [n.id for n in ast.walk(target) if isinstance(n, ast.Name)]
+        for name in names:
+            env.ints.pop(name, None)
+            env.reqs.pop(name, None)
+        if isinstance(target, ast.Name):
+            it = node.iter
+            if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                    and it.func.id == "range" and not it.keywords
+                    and 1 <= len(it.args) <= 3):
+                hull, _ = self._range_bounds(it, env)
+                if hull.is_bounded or hull.lo != float("-inf"):
+                    env.ints[target.id] = hull
+        return env
+
+    def _summary_for(self, node: ast.For, env: Env, report: bool) -> Env:
+        """Interpret an atomic ``for NAME in range(...)`` loop.
+
+        The body is replayed with the loop variable bound to the whole
+        iteration range; calls indexed by the loop variable contribute
+        their full range in one step.  When the loop may run twice or
+        more with no ``start``/``wait`` inside (no epoch reset), the body
+        is replayed a second time so cross-iteration doubles of
+        *constant* indices surface; loop-variable-dependent indices are
+        skipped on the replay, since those name a fresh partition each
+        iteration.
+        """
+        var = node.target.id
+        hull, exact = self._range_bounds(node.iter, env)
+        env = env.copy()
+        env.reqs.pop(var, None)
+        if hull.is_bounded or hull.lo != float("-inf"):
+            env.ints[var] = hull
+        else:
+            env.ints.pop(var, None)
+        iterations = (exact[1] - exact[0] + 1) if exact else None
+        if iterations is not None and iterations <= 0:
+            return env
+        resets_epoch = any(
+            isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+            and n.func.attr in ("start", "wait")
+            for stmt in node.body for n in ast.walk(stmt))
+        ctx = _LoopCtx(var=var, bounds=exact, repeat=False)
+        for stmt in node.body:
+            env = self._transfer_stmt(stmt, env, report, ctx)
+        may_repeat = iterations is None or iterations >= 2
+        if may_repeat and not resets_epoch:
+            ctx = _LoopCtx(var=var, bounds=exact, repeat=True)
+            for stmt in node.body:
+                env = self._transfer_stmt(stmt, env, report, ctx)
+        return env
+
+    # -- assignments ------------------------------------------------------
+    def _assign(self, stmt, env: Env, report: bool,
+                loop: Optional[_LoopCtx]) -> Env:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else \
+            [stmt.target]
+        value = stmt.value
+        if value is None:  # bare annotation
+            return env
+        created = _creation_call(value)
+        if created is not None and len(targets) == 1:
+            call, kind = created
+            key = _receiver_key(targets[0])
+            if key is not None:
+                env = self._effects(stmt, env, report, loop,
+                                    skip_creation=call)
+                env = env.copy()
+                env.ints.pop(key, None)
+                escaped = (not isinstance(targets[0], ast.Name)
+                           or key in self.closure_names)
+                env.reqs[key] = ReqState(
+                    kind=kind, partitions=self._partition_count(call, env),
+                    lifecycle=_ONLY_CREATED, must=IndexSet.EMPTY,
+                    may=IndexSet.EMPTY, unknown_ready=False,
+                    escaped=escaped, name=key,
+                    line=stmt.lineno, col=stmt.col_offset)
+                return env
+        env = self._effects(stmt, env, report, loop)
+        env = env.copy()
+        # Kill rebindings, then track integer values for simple targets.
+        names = [n.id for t in targets for n in ast.walk(t)
+                 if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)]
+        for name in names:
+            env.ints.pop(name, None)
+            env.reqs.pop(name, None)
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            iv = self._eval(value, env)
+            if iv.is_bounded:
+                env.ints[targets[0].id] = iv
+        return env
+
+    def _augassign(self, stmt: ast.AugAssign, env: Env, report: bool,
+                   loop: Optional[_LoopCtx]) -> Env:
+        env = self._effects(stmt, env, report, loop)
+        env = env.copy()
+        if isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            current = env.ints.get(name)
+            if current is not None:
+                combined = ast.BinOp(left=ast.Name(id=name, ctx=ast.Load()),
+                                     op=stmt.op, right=stmt.value)
+                iv = self._eval(combined, env)
+                env.ints.pop(name, None)
+                if iv.is_bounded:
+                    env.ints[name] = iv
+            else:
+                env.ints.pop(name, None)
+        return env
+
+    def _partition_count(self, call: ast.Call, env: Env) -> Optional[int]:
+        if isinstance(call.func, ast.Attribute):
+            arg = _call_arg(call, 4, "partitions")
+        else:
+            arg = _call_arg(call, 5, "partitions")
+        if arg is None:
+            return None
+        iv = self._eval(arg, env)
+        if iv.is_singleton and iv.lo >= 1:
+            return iv.lo
+        return None
+
+    # -- expression evaluation -------------------------------------------
+    @staticmethod
+    def _eval(node: ast.AST, env: Env) -> Interval:
+        return _eval_expr(node, env)
+
+    # -- call effects -----------------------------------------------------
+    def _effects(self, stmt, env: Env, report: bool,
+                 loop: Optional[_LoopCtx],
+                 skip_creation: Optional[ast.Call] = None) -> Env:
+        calls = [n for n in ast.walk(stmt) if isinstance(n, ast.Call)]
+        calls.sort(key=lambda c: (getattr(c, "lineno", 0),
+                                  getattr(c, "col_offset", 0)))
+        protected: Set[int] = set()
+        for call in calls:
+            if isinstance(call.func, ast.Attribute) and \
+                    call.func.attr in _LIFECYCLE_METHODS:
+                key = _receiver_key(call.func.value)
+                if key is not None and key in env.reqs:
+                    for n in ast.walk(call.func.value):
+                        protected.add(id(n))
+        for call in calls:
+            if call is skip_creation:
+                continue
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            attr = call.func.attr
+            if attr not in _LIFECYCLE_METHODS:
+                continue
+            key = _receiver_key(call.func.value)
+            if key is None or key not in env.reqs:
+                continue
+            env = self._lifecycle(call, attr, key, env, report, loop)
+        return self._mark_escapes(stmt, env, protected)
+
+    def _mark_escapes(self, stmt, env: Env, protected: Set[int]) -> Env:
+        escaped = [
+            node.id for node in ast.walk(stmt)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in env.reqs
+            and not env.reqs[node.id].escaped
+            and id(node) not in protected
+        ]
+        if not escaped:
+            return env
+        env = env.copy()
+        for name in escaped:
+            env.reqs[name] = replace(env.reqs[name], escaped=True)
+        return env
+
+    # -- the protocol state machine ---------------------------------------
+    def _lifecycle(self, call: ast.Call, attr: str, key: str, env: Env,
+                   report: bool, loop: Optional[_LoopCtx]) -> Env:
+        env = env.copy()
+        req = env.reqs[key]
+        if attr == "start":
+            if req.lifecycle == _ONLY_STARTED:
+                self._emit(report, "SIM113", call,
+                           f"start() on {req.name} while its epoch is "
+                           f"still active (wait() first)")
+            env.reqs[key] = replace(
+                req, lifecycle=_ONLY_STARTED, must=IndexSet.EMPTY,
+                may=IndexSet.EMPTY, unknown_ready=False)
+            return env
+        if attr == "wait":
+            if req.lifecycle == _ONLY_CREATED:
+                self._emit(report, "SIM113", call,
+                           f"wait() on {req.name} before start()")
+            elif (req.kind == "send" and _STARTED in req.lifecycle
+                    and not req.unknown_ready):
+                diverged = req.may.subtract(req.must)
+                if not diverged.is_empty:
+                    self._emit(
+                        report, "SIM111", call,
+                        f"partition(s) {diverged.describe()} of {req.name} "
+                        f"readied on some but not all paths reaching this "
+                        f"wait() — the epoch cannot complete on the "
+                        f"uncovered paths", severity="warning")
+            env.reqs[key] = replace(
+                req, lifecycle=_ONLY_WAITED, must=IndexSet.EMPTY,
+                may=IndexSet.EMPTY, unknown_ready=False)
+            return env
+        if attr in ("pready", "pready_range", "pready_list"):
+            return self._pready(call, attr, key, env, report, loop)
+        if attr == "parrived":
+            if req.lifecycle == _ONLY_CREATED:
+                self._emit(report, "SIM113", call,
+                           f"parrived() on {req.name} before the first "
+                           f"start()")
+            self._check_bounds(call, self._index_arg(call, 1, env), req,
+                               report, loop, "parrived")
+            return env
+        if attr in ("note_buffer_write", "note_buffer_read",
+                    "arrived_event"):
+            iv = self._index_arg(call, 0, env)
+            self._check_bounds(call, iv, req, report, loop, attr)
+            if attr == "note_buffer_write" and req.kind == "send" \
+                    and iv is not None:
+                skip = (loop is not None and loop.repeat
+                        and _uses_name(call, loop.var))
+                if not skip and iv.is_bounded:
+                    if req.must.overlaps(iv.lo, iv.hi):
+                        self._emit(
+                            report, "SIM115", call,
+                            f"partition {iv} of {req.name} written after "
+                            f"its pready in this epoch — the transfer may "
+                            f"already be reading the buffer")
+                    elif req.may.overlaps(iv.lo, iv.hi):
+                        self._emit(
+                            report, "SIM115", call,
+                            f"partition {iv} of {req.name} may be written "
+                            f"after its pready on some path in this epoch",
+                            severity="warning")
+            return env
+        return env  # "test" and other neutral probes
+
+    def _index_arg(self, call: ast.Call, pos: int, env: Env
+                   ) -> Optional[Interval]:
+        if len(call.args) <= pos:
+            return None
+        return self._eval(call.args[pos], env)
+
+    def _check_bounds(self, call, iv: Optional[Interval], req: ReqState,
+                      report: bool, loop: Optional[_LoopCtx],
+                      what: str) -> None:
+        if iv is None or req.partitions is None or not iv.is_bounded:
+            return
+        if loop is not None and loop.repeat and _uses_name(call, loop.var):
+            return
+        valid = Interval(0, req.partitions - 1)
+        if valid.disjoint(iv):
+            self._emit(report, "SIM110", call,
+                       f"partition index {iv} in {what}() is outside "
+                       f"[0, {req.partitions}) for {req.name}")
+        elif not valid.contains(iv):
+            self._emit(report, "SIM110", call,
+                       f"partition index {iv} in {what}() may fall outside "
+                       f"[0, {req.partitions}) for {req.name}",
+                       severity="warning")
+
+    def _pready(self, call: ast.Call, attr: str, key: str, env: Env,
+                report: bool, loop: Optional[_LoopCtx]) -> Env:
+        req = env.reqs[key]
+        if req.lifecycle == _ONLY_CREATED:
+            self._emit(report, "SIM113", call,
+                       f"{attr}() on {req.name} before start()")
+        elif req.lifecycle == _ONLY_WAITED:
+            self._emit(report, "SIM113", call,
+                       f"{attr}() on {req.name} after wait() — start a "
+                       f"new epoch first")
+        # Resolve the readied index range(s).
+        add: Optional[Tuple[int, int]] = None
+        unknown = False
+        loop_indexed = (loop is not None
+                        and any(_uses_name(a, loop.var)
+                                for a in call.args[1:]))
+        if attr == "pready":
+            iv = self._index_arg(call, 1, env)
+            self._check_bounds(call, iv, req, report, loop, attr)
+            if iv is None:
+                unknown = True
+            elif iv.is_singleton:
+                add = (iv.lo, iv.lo)
+            elif loop_indexed and loop.bounds is not None and \
+                    iv.is_bounded:
+                add = (iv.lo, iv.hi)
+            elif iv.is_bounded:
+                unknown = True
+            else:
+                unknown = True
+        elif attr == "pready_range":
+            lo_iv = self._index_arg(call, 1, env)
+            hi_iv = self._index_arg(call, 2, env)
+            if lo_iv is not None and hi_iv is not None and \
+                    lo_iv.is_singleton and hi_iv.is_singleton:
+                add = (lo_iv.lo, hi_iv.lo)   # MPI_Pready_range is inclusive
+                self._check_bounds(call, Interval(min(add), max(add)),
+                                   req, report, loop, attr)
+            else:
+                unknown = True
+        else:  # pready_list
+            elems = None
+            if len(call.args) > 1 and isinstance(call.args[1],
+                                                 (ast.List, ast.Tuple)):
+                elems = [self._eval(e, env) for e in call.args[1].elts]
+            if elems is not None and all(e.is_singleton for e in elems):
+                env2 = env
+                for e in elems:
+                    env2 = self._add_ready(call, (e.lo, e.lo), key, env2,
+                                           report, loop, False)
+                return env2
+            unknown = True
+        if add is not None:
+            return self._add_ready(call, add, key, env, report, loop,
+                                   loop_indexed)
+        if unknown:
+            env = env.copy()
+            env.reqs[key] = replace(env.reqs[key], unknown_ready=True)
+        return env
+
+    def _add_ready(self, call, add: Tuple[int, int], key: str, env: Env,
+                   report: bool, loop: Optional[_LoopCtx],
+                   loop_indexed: bool) -> Env:
+        env = env.copy()
+        req = env.reqs[key]
+        lo, hi = add
+        if hi < lo:
+            return env
+        # Double-ready detection.  A loop-variable-driven add names a
+        # fresh partition each iteration, so it is only checked against
+        # the state that preceded the loop (pass 1), never against its
+        # own replay (pass 2).
+        check = not (loop is not None and loop.repeat and loop_indexed)
+        if check:
+            if req.must.overlaps(lo, hi):
+                already = req.must.intersect(IndexSet.of_range(lo, hi))
+                self._emit(report, "SIM112", call,
+                           f"partition(s) {already.describe()} of "
+                           f"{req.name} already readied in this epoch "
+                           f"(double pready)")
+            elif req.may.overlaps(lo, hi):
+                already = req.may.intersect(IndexSet.of_range(lo, hi))
+                self._emit(report, "SIM112", call,
+                           f"partition(s) {already.describe()} of "
+                           f"{req.name} may already be readied on some "
+                           f"path in this epoch (double pready)",
+                           severity="warning")
+        env.reqs[key] = replace(req, must=req.must.add_range(lo, hi),
+                                may=req.may.add_range(lo, hi))
+        return env
+
+    # -- exit sweep -------------------------------------------------------
+    def _check_leaks(self, exit_env: Optional[Env]) -> None:
+        if exit_env is None:
+            return
+        for req in sorted(exit_env.reqs.values(),
+                          key=lambda r: (r.line, r.col, r.name)):
+            if req.escaped or _STARTED not in req.lifecycle:
+                continue
+            if req.lifecycle == _ONLY_STARTED:
+                self._emit(True, "SIM114", req,
+                           f"partitioned request {req.name} is started "
+                           f"but never waited before the function returns")
+            else:
+                self._emit(True, "SIM114", req,
+                           f"partitioned request {req.name} is not waited "
+                           f"on some exit path", severity="warning")
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, Interval]:
+    """Intervals for simple top-level ``NAME = <int expr>`` constants."""
+    consts: Dict[str, Interval] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            iv = _eval_expr(stmt.value, Env(ints=consts))
+            if iv.is_singleton:
+                consts[stmt.targets[0].id] = iv
+            else:
+                consts.pop(stmt.targets[0].id, None)
+    return consts
+
+
+def analyze_module(tree: ast.AST, filename: str,
+                   enabled: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the flow-sensitive pass over every function in a module.
+
+    ``enabled`` restricts the reported rule ids (default: all of
+    SIM110–SIM115); an empty selection short-circuits to no work.
+    """
+    active = FLOW_RULE_IDS if enabled is None else \
+        (frozenset(enabled) & FLOW_RULE_IDS)
+    if not active:
+        return []
+    module_ints = _module_constants(tree) if isinstance(tree, ast.Module) \
+        else {}
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _FunctionAnalysis(node, filename, active, module_ints,
+                              findings).run()
+    return findings

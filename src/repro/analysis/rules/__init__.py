@@ -125,6 +125,7 @@ def known_rule_ids() -> List[str]:
 from . import caching as _caching  # noqa: E402  (registration import)
 from . import determinism as _determinism  # noqa: E402  (registration import)
 from . import instrumentation as _instrumentation  # noqa: E402
+from . import protocol as _protocol  # noqa: E402  (registration import)
 from . import simapi as _simapi  # noqa: E402  (registration import)
 
-_ = (_caching, _determinism, _instrumentation, _simapi)
+_ = (_caching, _determinism, _instrumentation, _protocol, _simapi)

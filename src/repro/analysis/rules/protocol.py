@@ -1,0 +1,60 @@
+"""Registry descriptors for the flow-sensitive protocol rules.
+
+The actual analysis lives in :mod:`repro.analysis.protocol` (``simcheck``)
+— a CFG + abstract-interpretation pass that cannot be expressed as a
+per-node pattern rule.  The classes here exist so SIM110–SIM115 (and the
+suppression-hygiene rule SIM109) participate in the shared registry:
+``--disable``, the documentation table, per-rule suppression comments and
+SARIF rule metadata all resolve through :func:`..rules.all_rule_infos`.
+
+Their :meth:`check` methods are intentionally empty; the drivers in
+:mod:`repro.analysis.lint` invoke the flow pass once per module and
+filter its findings by the enabled-rule set instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..protocol import FLOW_RULES
+from . import Rule, register
+
+__all__ = ["FlowRule", "UnknownSuppressionRule"]
+
+
+class FlowRule(Rule):
+    """A rule enforced by the flow-sensitive pass, not by ``check()``."""
+
+    def check(self, tree: ast.AST, filename: str) -> Iterable[Finding]:
+        """Flow rules report through ``protocol.analyze_module``."""
+        return ()
+
+
+@register
+class UnknownSuppressionRule(FlowRule):
+    """SIM109: a suppression comment names a rule id that does not exist.
+
+    Enforced by the suppression-comment parser in
+    :mod:`repro.analysis.lint` (it needs the raw source, not the AST).
+    """
+
+    id = "SIM109"
+    name = "unknown-suppression"
+    summary = ("a '# simlint: disable=...' comment names an unknown rule "
+               "id — the typo'd suppression silently guards nothing")
+
+
+def _make_flow_rule(rule_id: str, rule_name: str,
+                    rule_summary: str) -> None:
+    cls = type(f"Flow_{rule_id}", (FlowRule,),
+               {"id": rule_id, "name": rule_name, "summary": rule_summary,
+                "__doc__": f"{rule_id}: {rule_name} (flow-sensitive)."})
+    register(cls)
+
+
+for _id in sorted(FLOW_RULES):
+    _name, _summary, _hint = FLOW_RULES[_id]
+    _make_flow_rule(_id, _name, _summary)
+del _id, _name, _summary, _hint

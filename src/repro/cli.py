@@ -397,20 +397,46 @@ def _findings_json(findings) -> str:
 
 def _cmd_lint(args) -> int:
     from .analysis import format_findings, lint_paths
+    from .analysis.findings import (load_baseline, new_findings, sarif_json,
+                                    write_baseline)
     from .errors import ConfigurationError
     try:
         findings = lint_paths(args.paths, disabled=args.disable)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.format == "json":
+    if args.write_baseline:
+        count = write_baseline(findings, args.write_baseline)
+        print(f"wrote baseline with {count} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+    gating = findings
+    if args.baseline:
+        try:
+            gating = new_findings(findings, load_baseline(args.baseline))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.format == "sarif":
+        output = sarif_json(findings)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as stream:
+                stream.write(output)
+            print(f"wrote SARIF log with {len(findings)} result(s) to "
+                  f"{args.output}")
+        else:
+            print(output, end="")
+    elif args.format == "json":
         print(_findings_json(findings))
     elif findings:
         print(format_findings(findings))
-        print(f"{len(findings)} finding(s)")
+        suffix = ""
+        if args.baseline:
+            suffix = f" ({len(gating)} new vs baseline)"
+        print(f"{len(findings)} finding(s){suffix}")
     else:
         print("clean: no findings")
-    return 1 if findings else 0
+    return 1 if gating else 0
 
 
 def _resolve_kinds(kinds_arg: str):
@@ -651,10 +677,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="+",
                       help="files or directories to lint")
     lint.add_argument("--format", default="text",
-                      choices=["text", "json"])
+                      choices=["text", "json", "sarif"])
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="write SARIF output to FILE instead of stdout")
     lint.add_argument("--disable", action="append", default=[],
                       metavar="RULE", help="rule id to skip "
                       "(repeatable, e.g. --disable SIM103)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="exit non-zero only for findings absent from "
+                           "this baseline file")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="record the current findings as the baseline "
+                           "and exit 0")
 
     chk = sub.add_parser(
         "check", help="run a program under the dynamic checker")

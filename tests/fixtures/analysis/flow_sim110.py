@@ -1,0 +1,18 @@
+"""Fixture: pready with a partition index outside [0, partitions) (SIM110)."""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 4)
+        yield from ps.start(main)
+        yield from ps.pready(main, 0)
+        yield from ps.pready(main, 7)  # only 4 partitions: the violation
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 4)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

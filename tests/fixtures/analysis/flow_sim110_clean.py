@@ -1,0 +1,19 @@
+"""Fixture: every pready index provably inside [0, partitions) — clean."""
+
+NRANKS = 2
+PARTITIONS = 4
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, PARTITIONS)
+        yield from ps.start(main)
+        for p in range(PARTITIONS):
+            yield from ps.pready(main, p)
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, PARTITIONS)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

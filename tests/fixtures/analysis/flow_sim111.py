@@ -1,0 +1,21 @@
+"""Fixture: partition readied on one branch but not the joining path (SIM111)."""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        yield from ps.start(main)
+        if ctx.nranks > 1:
+            yield from ps.pready(main, 0)
+            yield from ps.pready(main, 1)
+        else:
+            yield from ps.pready(main, 0)  # partition 1 skipped on this path
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

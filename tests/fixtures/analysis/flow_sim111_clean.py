@@ -1,0 +1,25 @@
+"""Fixture: the early-bird loop split — two range() loops covering
+[0, PARTITIONS) between them.  The analyzer must see that the halves
+compose to full coverage and stay silent (clean)."""
+
+NRANKS = 2
+PARTITIONS = 8
+SPLIT = 4
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, PARTITIONS)
+        yield from ps.start(main)
+        for p in range(0, SPLIT):  # early-bird half: overlap with compute
+            yield from ps.pready(main, p)
+        yield from main.compute(0.001)
+        for p in range(SPLIT, PARTITIONS):  # trailing half
+            yield from ps.pready(main, p)
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, PARTITIONS)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

@@ -1,0 +1,22 @@
+"""Fixture: disjoint pready_range halves, plus a fresh epoch re-readying
+the same indices after start() resets the ready set — clean."""
+
+NRANKS = 2
+EPOCHS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 4)
+        for _ in range(EPOCHS):
+            yield from ps.start(main)
+            yield from ps.pready_range(main, 0, 1)  # inclusive [0, 1]
+            yield from ps.pready_range(main, 2, 3)  # inclusive [2, 3]
+            yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 4)
+    for _ in range(EPOCHS):
+        yield from pr.start(main)
+        yield from pr.wait(main)
+    return None

@@ -1,0 +1,13 @@
+"""Fixture: wait() on a partitioned request that was never started (SIM113)."""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        yield from ps.wait(main)  # no start(): the violation
+        return None
+    yield from comm.precv_init(main, 0, 7, 4096, 2)
+    return None

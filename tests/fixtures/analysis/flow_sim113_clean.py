@@ -1,0 +1,21 @@
+"""Fixture: the canonical start → pready* → wait epoch ordering — clean."""
+
+NRANKS = 2
+EPOCHS = 3
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        for _ in range(EPOCHS):
+            yield from ps.start(main)
+            for p in range(2):
+                yield from ps.pready(main, p)
+            yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    for _ in range(EPOCHS):
+        yield from pr.start(main)
+        yield from pr.wait(main)
+    return None

@@ -1,0 +1,19 @@
+"""Fixture: a started epoch leaks on the early-return path (SIM114)."""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        yield from ps.start(main)
+        if ctx.nranks == 1:
+            return None  # epoch still active here: the violation
+        yield from ps.pready_range(main, 0, 1)
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

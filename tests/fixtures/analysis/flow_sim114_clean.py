@@ -1,0 +1,19 @@
+"""Fixture: wait() in a finally block covers every exit path — clean."""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        yield from ps.start(main)
+        try:
+            yield from ps.pready_range(main, 0, 1)
+        finally:
+            yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

@@ -1,0 +1,20 @@
+"""Fixture: send buffer written after its partition was readied (SIM115)."""
+
+NRANKS = 2
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, 2)
+        yield from ps.start(main)
+        ps.note_buffer_write(0)
+        ps.note_buffer_write(1)
+        yield from ps.pready_range(main, 0, 1)
+        ps.note_buffer_write(0)  # partition 0 already in flight: the violation
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, 2)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

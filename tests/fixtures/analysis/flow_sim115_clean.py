@@ -1,0 +1,20 @@
+"""Fixture: fill-then-ready — each partition written, then readied — clean."""
+
+NRANKS = 2
+PARTITIONS = 4
+
+
+def program(ctx):
+    comm, main = ctx.comm, ctx.main
+    if ctx.rank == 0:
+        ps = yield from comm.psend_init(main, 1, 7, 4096, PARTITIONS)
+        yield from ps.start(main)
+        for p in range(PARTITIONS):
+            ps.note_buffer_write(p)
+            yield from ps.pready(main, p)
+        yield from ps.wait(main)
+        return None
+    pr = yield from comm.precv_init(main, 0, 7, 4096, PARTITIONS)
+    yield from pr.start(main)
+    yield from pr.wait(main)
+    return None

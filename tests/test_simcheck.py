@@ -1,0 +1,296 @@
+"""The flow-sensitive protocol verifier (simcheck): SIM110–SIM115.
+
+Covers the CFG/abstract-interpretation pass end to end: one violating and
+one clean fixture per rule (including the early-bird loop split that must
+stay clean), fixpoint termination on a pathological nested-loop CFG,
+per-rule suppression comments, finding ordering/dedup, the SARIF 2.1.0
+exporter, and the baseline write/compare round trip.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file, lint_source
+from repro.analysis.findings import (BASELINE_VERSION, Finding,
+                                     finding_fingerprint, load_baseline,
+                                     new_findings, sort_findings, to_sarif,
+                                     write_baseline)
+from repro.analysis.lint import UNKNOWN_SUPPRESSION_RULE
+from repro.analysis.protocol import FLOW_RULE_IDS
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+#: flow fixture -> (the one rule it must trigger, its severity).
+FLOW_CASES = [
+    ("flow_sim110.py", "SIM110", "error"),
+    ("flow_sim111.py", "SIM111", "warning"),
+    ("flow_sim112.py", "SIM112", "error"),
+    ("flow_sim113.py", "SIM113", "error"),
+    ("flow_sim114.py", "SIM114", "warning"),
+    ("flow_sim115.py", "SIM115", "error"),
+]
+
+CLEAN_FIXTURES = [f"flow_sim{n}_clean.py" for n in range(110, 116)]
+
+
+class TestFlowFixtures:
+    @pytest.mark.parametrize("fixture,rule,severity", FLOW_CASES)
+    def test_rule_fires_exactly_once(self, fixture, rule, severity):
+        findings = lint_file(FIXTURES / fixture)
+        assert [(f.rule, f.severity) for f in findings] == [(rule, severity)]
+
+    @pytest.mark.parametrize("fixture,rule,severity", FLOW_CASES)
+    def test_rule_is_load_bearing(self, fixture, rule, severity):
+        # Disabling the rule silences its fixture entirely: the finding
+        # really comes from that rule, not from a sibling pass.
+        assert lint_file(FIXTURES / fixture, disabled=[rule]) == []
+
+    @pytest.mark.parametrize("fixture", CLEAN_FIXTURES)
+    def test_clean_variant_has_no_findings(self, fixture):
+        assert lint_file(FIXTURES / fixture) == []
+
+    def test_early_bird_loop_split_stays_clean(self):
+        # The paper's early-bird idiom: two range() loops splitting
+        # [0, PARTITIONS) between them.  Coverage must compose.
+        source = (FIXTURES / "flow_sim111_clean.py").read_text()
+        assert "early-bird" in source
+        assert lint_source(source, "early_bird.py") == []
+
+    @pytest.mark.parametrize("fixture,rule,severity", FLOW_CASES)
+    def test_findings_carry_fix_hint(self, fixture, rule, severity):
+        (finding,) = lint_file(FIXTURES / fixture)
+        assert finding.fix_hint
+
+
+class TestFixpointTermination:
+    def _pathological(self, depth: int) -> str:
+        # `depth` nested while loops, each with a data-dependent branch
+        # mutating the counter both ways — the worst case for interval
+        # propagation.  Widening must force convergence.
+        lines = ["def program(ctx, comm, tc, n):",
+                 "    ps = yield from comm.psend_init(tc, 1, 5, 4096, 64)",
+                 "    yield from ps.start(tc)",
+                 "    i = 0"]
+        pad = "    "
+        for d in range(depth):
+            lines.append(f"{pad}while i < n + {d}:")
+            pad += "    "
+            lines.append(f"{pad}i += 1")
+            lines.append(f"{pad}if i > {d + 3}:")
+            lines.append(f"{pad}    i += 2")
+            lines.append(f"{pad}else:")
+            lines.append(f"{pad}    i -= 1")
+        lines.append(f"{pad}yield from ps.pready(tc, 0)")
+        lines.append("    yield from ps.wait(tc)")
+        return "\n".join(lines) + "\n"
+
+    def test_nested_loop_cfg_terminates(self):
+        # Non-termination shows up as the pytest-level timeout; reaching
+        # the assert at all is the property under test.
+        findings = lint_source(self._pathological(10), "pathological.py")
+        assert isinstance(findings, list)
+
+    def test_constant_pready_in_repeating_loop_flagged(self):
+        # ... and the analysis is still precise enough at depth to see
+        # the constant-index pready repeating without an epoch reset.
+        findings = lint_source(self._pathological(4), "pathological.py")
+        assert "SIM112" in {f.rule for f in findings}
+
+
+class TestSuppression:
+    VIOLATION = FIXTURES / "flow_sim112.py"
+
+    def test_per_rule_disable_comment(self):
+        source = self.VIOLATION.read_text().replace(
+            "# second ready: the violation", "# simlint: disable=SIM112")
+        assert lint_source(source, "suppressed.py") == []
+
+    def test_per_rule_disable_leaves_other_rules(self):
+        # Suppressing an unrelated rule on the line changes nothing.
+        source = self.VIOLATION.read_text().replace(
+            "# second ready: the violation", "# simlint: disable=SIM110")
+        assert [f.rule for f in lint_source(source, "s.py")] == ["SIM112"]
+
+    def test_multi_rule_disable_comment(self):
+        source = self.VIOLATION.read_text().replace(
+            "# second ready: the violation",
+            "# simlint: disable=SIM103,SIM112")
+        assert lint_source(source, "s.py") == []
+
+    def test_unknown_rule_id_warns(self):
+        findings = lint_source("x = 1  # simlint: disable=SIM999\n", "u.py")
+        assert [f.rule for f in findings] == [UNKNOWN_SUPPRESSION_RULE]
+        assert findings[0].severity == "warning"
+        assert "SIM999" in findings[0].message
+
+    def test_blanket_skip_still_works(self):
+        source = self.VIOLATION.read_text().replace(
+            "# second ready: the violation", "# simlint: skip")
+        assert lint_source(source, "s.py") == []
+
+
+class TestOrderingAndDedup:
+    def test_sorted_by_location_then_rule(self):
+        a = Finding(rule="SIM112", message="m", file="b.py", line=3)
+        b = Finding(rule="SIM110", message="m", file="b.py", line=3)
+        c = Finding(rule="SIM115", message="m", file="a.py", line=9)
+        d = Finding(rule="SIM110", message="m", file="b.py", line=1)
+        assert sort_findings([a, b, c, d]) == [c, d, b, a]
+
+    def test_exact_duplicates_dropped(self):
+        f = Finding(rule="SIM110", message="m", file="x.py", line=1)
+        assert sort_findings([f, f, f]) == [f]
+
+    def test_lint_output_is_sorted(self):
+        findings = lint_file(FIXTURES / "flow_sim110.py")
+        assert findings == sort_findings(findings)
+
+
+class TestSarifExport:
+    # The structural subset of the SARIF 2.1.0 schema this exporter
+    # must satisfy (the full OASIS schema is not vendored).
+    SUBSET_SCHEMA = {
+        "type": "object",
+        "required": ["$schema", "version", "runs"],
+        "properties": {
+            "version": {"const": "2.1.0"},
+            "runs": {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["tool", "results"],
+                    "properties": {
+                        "tool": {
+                            "type": "object",
+                            "required": ["driver"],
+                            "properties": {"driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                            }},
+                        },
+                        "results": {
+                            "type": "array",
+                            "items": {
+                                "type": "object",
+                                "required": ["ruleId", "level", "message"],
+                                "properties": {
+                                    "level": {"enum": ["error", "warning",
+                                                       "note", "none"]},
+                                    "message": {
+                                        "type": "object",
+                                        "required": ["text"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    }
+
+    def _log(self):
+        return to_sarif(lint_file(FIXTURES / "flow_sim110.py"))
+
+    def test_schema_valid(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(self._log(), self.SUBSET_SCHEMA)
+
+    def test_result_location_is_one_based(self):
+        (result,) = self._log()["runs"][0]["results"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region.get("startColumn", 1) >= 1
+
+    def test_flow_rules_in_tool_metadata(self):
+        ids = {r["id"] for r in
+               self._log()["runs"][0]["tool"]["driver"]["rules"]}
+        assert FLOW_RULE_IDS <= ids
+
+    def test_severity_maps_to_level(self):
+        log = to_sarif(lint_file(FIXTURES / "flow_sim111.py"))
+        (result,) = log["runs"][0]["results"]
+        assert result["level"] == "warning"
+
+
+class TestBaseline:
+    def test_round_trip_same_tree_exits_clean(self, tmp_path):
+        findings = lint_file(FIXTURES / "flow_sim112.py")
+        path = tmp_path / "baseline.json"
+        assert write_baseline(findings, path) == len(findings) == 1
+        assert new_findings(findings, load_baseline(path)) == []
+
+    def test_new_violation_not_grandfathered(self, tmp_path):
+        findings = lint_file(FIXTURES / "flow_sim112.py")
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        extra = lint_file(FIXTURES / "flow_sim110.py")
+        fresh = new_findings(findings + extra, load_baseline(path))
+        assert [f.rule for f in fresh] == ["SIM110"]
+
+    def test_fingerprint_tolerates_line_moves(self):
+        a = Finding(rule="SIM112", message="m", file="x.py", line=10)
+        b = Finding(rule="SIM112", message="m", file="x.py", line=99)
+        assert finding_fingerprint(a) == finding_fingerprint(b)
+
+    def test_repeat_count_budget(self, tmp_path):
+        f = Finding(rule="SIM112", message="m", file="x.py", line=1)
+        g = Finding(rule="SIM112", message="m", file="x.py", line=2)
+        path = tmp_path / "baseline.json"
+        write_baseline([f], path)
+        # One occurrence grandfathered; a second identical fingerprint
+        # is new.
+        assert new_findings([f, g], load_baseline(path)) == [g]
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"version": BASELINE_VERSION + 1, "fingerprints": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestCli:
+    def test_sarif_format(self, capsys):
+        code = main(["lint", str(FIXTURES / "flow_sim110.py"),
+                     "--format", "sarif"])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "SIM110"
+
+    def test_sarif_output_file(self, capsys, tmp_path):
+        out = tmp_path / "lint.sarif"
+        code = main(["lint", str(FIXTURES / "flow_sim110_clean.py"),
+                     "--format", "sarif", "--output", str(out)])
+        assert code == 0
+        assert json.loads(out.read_text())["runs"][0]["results"] == []
+
+    def test_baseline_round_trip(self, capsys, tmp_path):
+        target = str(FIXTURES / "flow_sim112.py")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", target,
+                     "--write-baseline", str(baseline)]) == 0
+        # The same tree against its own fresh baseline gates green ...
+        assert main(["lint", target, "--baseline", str(baseline)]) == 0
+        # ... and a tree with a new violation gates red.
+        assert main(["lint", target, str(FIXTURES / "flow_sim110.py"),
+                     "--baseline", str(baseline)]) == 1
+
+    def test_missing_baseline_is_config_error(self, capsys, tmp_path):
+        code = main(["lint", str(FIXTURES / "flow_sim110_clean.py"),
+                     "--baseline", str(tmp_path / "absent.json")])
+        assert code == 2
+
+    def test_flow_rule_disable_flag(self, capsys):
+        code = main(["lint", str(FIXTURES / "flow_sim112.py"),
+                     "--disable", "SIM112"])
+        assert code == 0
