@@ -201,6 +201,41 @@ def test_end_to_end_trial_cost(benchmark):
     assert result.samples
 
 
+def test_analytic_eval_cost(benchmark):
+    """The closed-form answer for a paper-grid cell (no simulator).
+
+    Mirrors the ``analytic_eval`` guard kernel; the guard additionally
+    holds it to <= 1/100th of the same cell's DES trial
+    (``paper_cell_trial``) measured in the same run.
+    """
+    from repro.analytic import evaluate_analytic
+    cfg = PtpBenchmarkConfig(message_bytes=1 << 20, partitions=32,
+                             compute_seconds=0.010, iterations=10, warmup=1)
+
+    result = benchmark(evaluate_analytic, cfg)
+    assert result.source == "analytic"
+    assert len(result.samples) == cfg.iterations
+
+
+def test_planner_overhead_cost(benchmark):
+    """A fixed-trial (min == max == 1) planner run on a noisy cell.
+
+    Mirrors the ``planner_overhead`` guard kernel (budgeted at 1.05x the
+    plain run of the same cell): forcing exactly one trial isolates the
+    planner's convergence check + merge + digest rehash.
+    """
+    from repro.metrics import AdaptiveTrialPlanner
+    from repro.noise import UniformNoise
+    cfg = PtpBenchmarkConfig(message_bytes=1 << 16, partitions=8,
+                             compute_seconds=1e-3, iterations=16, warmup=0,
+                             noise=UniformNoise(4.0))
+    planner = AdaptiveTrialPlanner(min_trials=1, max_trials=1)
+
+    result = benchmark(planner.run_cell, cfg)
+    assert result.trials == 1
+    assert result.samples
+
+
 def test_faults_off_trial_cost(benchmark):
     """The trial with the fault hooks explicitly disabled.
 

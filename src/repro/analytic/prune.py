@@ -1,0 +1,65 @@
+"""Classify a sweep grid into analytic and DES cells before fan-out.
+
+``plan_prune`` is the grid-level face of :func:`repro.analytic.model.
+analytic_supported`: given the cells a sweep is about to run, it decides
+up front which ones the closed-form evaluator will answer and which must
+go to the simulator (and why).  ``run_cells`` consults the same
+per-config predicate cell by cell; this module exists so callers — the
+CLI's provenance footer, capacity planning, tests — can see the split
+without executing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..core.config import PtpBenchmarkConfig
+from .model import analytic_supported
+
+__all__ = ["PruneDecision", "PrunePlan", "plan_prune"]
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """One cell's routing: analytic when ``reason`` is ``None``."""
+
+    config: PtpBenchmarkConfig
+    reason: Optional[str]
+
+    @property
+    def analytic(self) -> bool:
+        return self.reason is None
+
+
+@dataclass(frozen=True)
+class PrunePlan:
+    """The grid split into analytic-eligible and simulation-bound cells."""
+
+    decisions: Tuple[PruneDecision, ...]
+
+    @property
+    def analytic_cells(self) -> Tuple[PtpBenchmarkConfig, ...]:
+        return tuple(d.config for d in self.decisions if d.analytic)
+
+    @property
+    def des_cells(self) -> Tuple[PtpBenchmarkConfig, ...]:
+        return tuple(d.config for d in self.decisions if not d.analytic)
+
+    def describe(self) -> str:
+        """One line for logs: counts plus the distinct DES reasons."""
+        n_an = sum(1 for d in self.decisions if d.analytic)
+        n_des = len(self.decisions) - n_an
+        line = (f"{len(self.decisions)} cells: {n_an} analytic, "
+                f"{n_des} simulated")
+        reasons = sorted({d.reason for d in self.decisions if d.reason})
+        if reasons:
+            line += " (" + "; ".join(reasons) + ")"
+        return line
+
+
+def plan_prune(cells: Iterable[PtpBenchmarkConfig]) -> PrunePlan:
+    """Decide, per cell, whether the analytic evaluator may answer it."""
+    return PrunePlan(decisions=tuple(
+        PruneDecision(config=c, reason=analytic_supported(c))
+        for c in cells))

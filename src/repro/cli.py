@@ -41,13 +41,15 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .core import (METRIC_NAMES, PtpBenchmarkConfig, ResultCache,
-                   fault_table, fig4_overhead, fig5_perceived_bandwidth,
-                   fig6_availability, fig7_noise_models, fig8_early_bird,
-                   metric_table, recommend_partitions, run_ptp_benchmark,
+from .core import (ANALYTIC_MODES, METRIC_NAMES, PtpBenchmarkConfig,
+                   ResultCache, fault_table, fig4_overhead,
+                   fig5_perceived_bandwidth, fig6_availability,
+                   fig7_noise_models, fig8_early_bird, metric_table,
+                   provenance_line, recommend_partitions, run_ptp_benchmark,
                    save_sweep, series_table, sweep_ptp)
 from .core.report import ascii_table, format_bytes
 from .faults import parse_fault_spec
+from .metrics import AdaptiveTrialPlanner
 from .noise import noise_model_from_name
 from .patterns import (CommMode, Halo3DGrid, PatternConfig, Sweep3DGrid,
                        throughput_series)
@@ -57,11 +59,25 @@ __all__ = ["main", "build_parser"]
 
 
 def _engine_options(args) -> Dict:
-    """The ``jobs``/``cache`` kwargs a ptp figure driver understands."""
+    """The engine kwargs a ptp figure driver understands.
+
+    ``jobs``/``cache`` as before, plus ``analytic`` dispatch and — when
+    ``--ci-target`` is given — an :class:`AdaptiveTrialPlanner` for the
+    nondeterministic cells.
+    """
     cache_dir = getattr(args, "cache_dir", None)
+    ci_target = getattr(args, "ci_target", None)
+    planner = None
+    if ci_target is not None:
+        planner = AdaptiveTrialPlanner(
+            ci_target=ci_target,
+            min_trials=getattr(args, "ci_min_trials", 3),
+            max_trials=getattr(args, "ci_max_trials", 20))
     return {
         "jobs": getattr(args, "jobs", 1) or 1,
         "cache": ResultCache(cache_dir) if cache_dir else None,
+        "analytic": getattr(args, "analytic", "off"),
+        "planner": planner,
     }
 
 
@@ -72,9 +88,14 @@ def _engine_footer(sweeps, cache: Optional[ResultCache]) -> str:
         return ""
     total = sum(s.total_cells for s in stats)
     executed = sum(s.executed for s in stats)
+    trials = sum(s.trials for s in stats)
+    analytic = sum(s.analytic for s in stats)
     hits = sum(s.cache_hits for s in stats)
-    line = (f"sweep engine: {total} cells, {executed} executed, "
-            f"{hits} cache hits (jobs={stats[0].jobs})")
+    line = (f"sweep engine: {total} cells, {executed} executed "
+            f"({trials} trials)")
+    if analytic:
+        line += f", {analytic} analytic"
+    line += f", {hits} cache hits (jobs={stats[0].jobs})"
     if cache is not None:
         line += f"; cache at {cache.root} now holds {len(cache)} entries"
     return "\n\n" + line
@@ -358,9 +379,11 @@ def _cmd_sweep(args) -> str:
         seed=args.seed,
         faults=parse_fault_spec(args.faults) if args.faults else None,
     )
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    sweep = sweep_ptp(base, sizes, counts, jobs=args.jobs or 1,
-                      cache=cache)
+    engine = _engine_options(args)
+    cache = engine["cache"]
+    sweep = sweep_ptp(base, sizes, counts, jobs=engine["jobs"],
+                      cache=cache, analytic=engine["analytic"],
+                      planner=engine["planner"])
     metrics = METRIC_NAMES if args.metric == "all" else (args.metric,)
     parts = [metric_table(sweep, metric, title=f"sweep — {metric}")
              for metric in metrics]
@@ -368,6 +391,9 @@ def _cmd_sweep(args) -> str:
     if faults_summary is not None:
         parts.append(faults_summary)
     parts.append(f"sweep engine: {sweep.stats.describe()}")
+    provenance = provenance_line(sweep)
+    if provenance is not None:
+        parts.append(provenance)
     if cache is not None:
         parts.append(f"cache at {cache.root}: {cache.hits} hits, "
                      f"{cache.misses} misses, {cache.stores} stored, "
@@ -571,6 +597,22 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="content-addressed result cache: cells whose config is "
              "unchanged are reloaded instead of re-simulated")
+    parser.add_argument(
+        "--analytic", default="off", choices=list(ANALYTIC_MODES),
+        help="closed-form fast path for deterministic cells: 'auto' "
+             "answers eligible cells without simulating (within the "
+             "documented tolerance), 'only' refuses ineligible cells")
+    parser.add_argument(
+        "--ci-target", type=float, default=None, metavar="REL",
+        help="adaptive trials: stop each noisy/faulty cell once the "
+             "pruned-mean CI half-width is within REL (e.g. 0.05) of "
+             "the mean, instead of a fixed trial count")
+    parser.add_argument(
+        "--ci-min-trials", type=int, default=3, metavar="N",
+        help="adaptive trials: lower bound per cell (default 3)")
+    parser.add_argument(
+        "--ci-max-trials", type=int, default=20, metavar="N",
+        help="adaptive trials: upper bound per cell (default 20)")
 
 
 def build_parser() -> argparse.ArgumentParser:

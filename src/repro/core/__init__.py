@@ -13,18 +13,21 @@ Layers:
 * :mod:`~repro.core.report` — the text tables the harness prints.
 """
 
-from .compare import Drift, compare_sweeps, drift_table
+from .compare import (COMPARE_MODES, Drift, compare_sweeps, drift_table,
+                      gate_sweeps)
 from .config import (COLD, HOT, PAPER_MESSAGE_SIZES, PAPER_PARTITION_COUNTS,
                      PtpBenchmarkConfig)
 from .guidance import OBJECTIVES, Recommendation, recommend_partitions
-from .parallel import (ResultCache, SweepStats, config_fingerprint,
-                       derive_cell_seed, plan_cells, run_cells)
+from .parallel import (ANALYTIC_MODES, ResultCache, SweepStats,
+                       config_fingerprint, derive_cell_seed, plan_cells,
+                       run_cells)
 from .persistence import (load_sweep, result_from_dict,
                           result_to_dict, save_sweep,
                           sweep_from_dict, sweep_to_dict)
 from .plot import ascii_plot
 from .report import (METRIC_FORMATS, ascii_table, fault_table, format_bytes,
-                     format_seconds, metric_table, series_table)
+                     format_seconds, metric_table, provenance_line,
+                     series_table)
 from .runner import PtpResult, PtpSample, run_ptp_benchmark, run_ptp_trial
 from .suite import (QUICK_MESSAGE_SIZES, QUICK_PARTITION_COUNTS,
                     fig4_overhead, fig5_perceived_bandwidth,
@@ -38,8 +41,11 @@ __all__ = [
     "PAPER_PARTITION_COUNTS",
     "PtpBenchmarkConfig",
     "Drift",
+    "COMPARE_MODES",
     "compare_sweeps",
     "drift_table",
+    "gate_sweeps",
+    "ANALYTIC_MODES",
     "OBJECTIVES",
     "Recommendation",
     "recommend_partitions",
@@ -62,6 +68,7 @@ __all__ = [
     "format_bytes",
     "format_seconds",
     "metric_table",
+    "provenance_line",
     "series_table",
     "PtpResult",
     "PtpSample",

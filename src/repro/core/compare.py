@@ -18,9 +18,13 @@ from .persistence import LoadedSweep
 from .report import ascii_table, format_bytes
 from .sweep import METRIC_NAMES, SweepResult
 
-__all__ = ["Drift", "compare_sweeps", "drift_table"]
+__all__ = ["Drift", "compare_sweeps", "drift_table", "gate_sweeps",
+           "COMPARE_MODES"]
 
 SweepLike = Union[SweepResult, LoadedSweep]
+
+#: Tolerance interpretations for :func:`compare_sweeps`.
+COMPARE_MODES = ("relative", "absolute")
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,11 @@ class Drift:
             return float("inf") if self.candidate else 0.0
         return (self.candidate - self.baseline) / abs(self.baseline)
 
+    @property
+    def absolute(self) -> float:
+        """Signed absolute change vs the baseline."""
+        return self.candidate - self.baseline
+
 
 def _cells(sweep: SweepLike):
     if isinstance(sweep, SweepResult):
@@ -53,8 +62,15 @@ def _cells(sweep: SweepLike):
 
 
 def compare_sweeps(baseline: SweepLike, candidate: SweepLike,
-                   metric: str, tolerance: float = 0.10) -> List[Drift]:
-    """Cells where ``metric`` moved by more than ``tolerance`` (relative).
+                   metric: str, tolerance: float = 0.10,
+                   mode: str = "relative") -> List[Drift]:
+    """Cells where ``metric`` moved by more than ``tolerance``.
+
+    ``mode`` chooses how the tolerance is read: ``"relative"`` compares
+    ``|candidate - baseline| / |baseline|`` (a zero baseline with any
+    nonzero candidate always drifts), ``"absolute"`` compares the raw
+    difference — the right band for metrics that legitimately pass
+    through zero, where relative drift is unbounded noise.
 
     Both sweeps must cover the same (message size, partition count) grid;
     a mismatched grid is an error, not a silent skip — a missing cell is
@@ -65,6 +81,9 @@ def compare_sweeps(baseline: SweepLike, candidate: SweepLike,
             f"unknown metric {metric!r}; choose from {METRIC_NAMES}")
     if not (0.0 <= tolerance):
         raise ConfigurationError(f"tolerance must be >= 0: {tolerance}")
+    if mode not in COMPARE_MODES:
+        raise ConfigurationError(
+            f"mode must be one of {COMPARE_MODES}: {mode!r}")
     base_cells = sorted(_cells(baseline))
     cand_cells = sorted(_cells(candidate))
     if base_cells != cand_cells:
@@ -77,9 +96,27 @@ def compare_sweeps(baseline: SweepLike, candidate: SweepLike,
         c = candidate.value(metric, m, n)
         drift = Drift(metric=metric, message_bytes=m, partitions=n,
                       baseline=b, candidate=c)
-        if abs(drift.relative) > tolerance:
+        moved = abs(drift.relative if mode == "relative" else drift.absolute)
+        if moved > tolerance:
             drifts.append(drift)
     return drifts
+
+
+def gate_sweeps(baseline: SweepLike, candidate: SweepLike,
+                metric: str, tolerance: float,
+                mode: str = "relative") -> None:
+    """Gate form of :func:`compare_sweeps`: raise on any drift.
+
+    The exception message embeds the full drift table, so a failing CI
+    cross-validation run (analytic vs DES) shows exactly which cells
+    disagreed and by how much.
+    """
+    drifts = compare_sweeps(baseline, candidate, metric,
+                            tolerance=tolerance, mode=mode)
+    if drifts:
+        raise ConfigurationError(
+            f"{metric} drifted beyond {mode} tolerance {tolerance:g}:\n"
+            f"{drift_table(drifts)}")
 
 
 def drift_table(drifts: List[Drift]) -> str:

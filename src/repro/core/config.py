@@ -138,6 +138,21 @@ class PtpBenchmarkConfig:
         """Warmup plus measured iterations."""
         return self.warmup + self.iterations
 
+    @property
+    def is_deterministic(self) -> bool:
+        """True when every trial of this cell is bit-identical.
+
+        No fault plan, and a noise model that hands every thread exactly
+        ``compute_seconds``: :class:`~repro.noise.NoNoise`, or any
+        percent-parameterised model dialled to 0% (the sweeps' noise
+        axes start at 0).  Deterministic cells need one trial — and are
+        the candidates for the :mod:`repro.analytic` fast path.
+        """
+        if self.faults is not None:
+            return False
+        return (isinstance(self.noise, NoNoise)
+                or getattr(self.noise, "noise_percent", None) == 0)
+
     def with_overrides(self, **kwargs) -> "PtpBenchmarkConfig":
         """Copy with fields replaced (sweeps and ablations)."""
         return replace(self, **kwargs)

@@ -25,11 +25,13 @@ which recomputes the derived metrics exactly as a serial run would.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import os
 import pathlib
 import shutil
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from enum import Enum
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
@@ -41,16 +43,17 @@ from .config import PtpBenchmarkConfig
 from .persistence import result_to_dict, sample_from_dict, sample_to_dict
 from .runner import PtpResult, run_ptp_benchmark
 
-__all__ = ["CACHE_SCHEMA_VERSION", "SweepStats", "ResultCache",
-           "config_fingerprint", "derive_cell_seed", "plan_cells",
-           "run_cells"]
+__all__ = ["CACHE_SCHEMA_VERSION", "ANALYTIC_MODES", "SweepStats",
+           "ResultCache", "config_fingerprint", "derive_cell_seed",
+           "plan_cells", "run_cells"]
 
 #: Bumped whenever cached entries become unreadable by newer code (layout
 #: changes) *or* stale (simulation semantics changed).  Old entries are
 #: simply treated as misses.
 #: 2: results carry the instrumentation-stream digest (repro.obs).
 #: 3: results carry the fault outcome (repro.faults).
-CACHE_SCHEMA_VERSION = 3
+#: 4: results carry their provenance (source + merged trial count).
+CACHE_SCHEMA_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -94,29 +97,57 @@ def _canonical(value):
     return {"__class__": type(value).__name__, **state}
 
 
-def config_fingerprint(config: PtpBenchmarkConfig) -> str:
+def config_fingerprint(config: PtpBenchmarkConfig,
+                       salt: Optional[str] = None) -> str:
     """Stable SHA-256 hex digest of a fully resolved benchmark config.
 
     Two configs share a fingerprint iff every field — sizes, counts, noise
     model and its parameters, cache mode, impl, iteration counts, seed, and
     the whole machine/network/cost substrate — is equal.  The digest is
     stable across processes and Python versions (no use of ``hash()``).
+
+    The base digest is memoized on the (frozen) config instance — a
+    sweep fingerprints each cell several times (cache get, cache put,
+    memory tier), and canonicalizing the whole substrate again each time
+    was pure waste.  ``salt`` mixes an execution-policy discriminator
+    into the digest (e.g. an adaptive planner's settings) so results
+    produced under different policies never alias; the memoized base is
+    unaffected.
     """
-    payload = {"schema": CACHE_SCHEMA_VERSION, "config": _canonical(config)}
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    fingerprint = config.__dict__.get("_fingerprint")
+    if fingerprint is None:
+        payload = {"schema": CACHE_SCHEMA_VERSION,
+                   "config": _canonical(config)}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        fingerprint = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        # The config is a frozen dataclass; stash via object.__setattr__.
+        # ``_canonical`` walks declared fields only, so the memo can
+        # never leak into another config's digest.
+        object.__setattr__(config, "_fingerprint", fingerprint)
+    if salt is not None:
+        fingerprint = hashlib.sha256(
+            f"{fingerprint}|{salt}".encode("utf-8")).hexdigest()
+    return fingerprint
 
 
 def derive_cell_seed(base_seed: int, message_bytes: int,
-                     partitions: int) -> int:
+                     partitions: int, trial: int = 0) -> int:
     """Deterministic per-cell seed, independent of execution order.
 
     Mixes the sweep's base seed with the cell coordinates through SHA-256,
     so every cell gets a decorrelated noise stream and serial, parallel,
     and cached runs of the same grid all see identical draws.
+
+    ``trial`` decorrelates the extra repetitions an
+    :class:`~repro.metrics.AdaptiveTrialPlanner` appends to one cell.
+    Trial 0 reuses the cell's own seed blob (bit-compatible with every
+    seed derived before the planner existed).
     """
-    blob = f"{base_seed}|{message_bytes}|{partitions}".encode("utf-8")
-    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "little")
+    blob = f"{base_seed}|{message_bytes}|{partitions}"
+    if trial:
+        blob += f"|t{trial}"
+    return int.from_bytes(
+        hashlib.sha256(blob.encode("utf-8")).digest()[:8], "little")
 
 
 # ---------------------------------------------------------------------------
@@ -131,25 +162,66 @@ class ResultCache:
     so concurrent sweeps sharing a cache directory cannot corrupt each
     other.  Hit/miss/store counters accumulate across calls and feed the
     sweep report.
+
+    An in-process LRU tier (``memory_entries`` results, the first slice
+    of the ROADMAP sweep-service memory tier) sits in front of the disk
+    reads: repeated gets for the same cell — report regeneration,
+    comparison runs, a service loop — skip the JSON parse entirely.
+    ``memory_hits`` counts the gets it absorbed (also included in
+    ``hits``).
     """
 
-    def __init__(self, root: Union[str, pathlib.Path]):
+    def __init__(self, root: Union[str, pathlib.Path],
+                 memory_entries: int = 128):
+        if memory_entries < 0:
+            raise ConfigurationError(
+                f"memory_entries must be >= 0: {memory_entries}")
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.memory_hits = 0
+        self._memory_entries = memory_entries
+        #: fingerprint -> (samples, event_digest, fault_outcome, source,
+        #: trials); samples are frozen PtpSample objects, shared between
+        #: the tier and every result handed out (copied lists, so caller
+        #: mutations of ``result.samples`` cannot corrupt the tier).
+        self._memory: "OrderedDict[str, tuple]" = OrderedDict()
 
     def _path(self, fingerprint: str) -> pathlib.Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
 
-    def get(self, config: PtpBenchmarkConfig) -> Optional[PtpResult]:
+    def _remember(self, fingerprint: str, result: PtpResult) -> None:
+        if self._memory_entries == 0:
+            return
+        self._memory[fingerprint] = (
+            tuple(result.samples), result.event_digest,
+            result.fault_outcome, result.source, result.trials)
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    def get(self, config: PtpBenchmarkConfig,
+            salt: Optional[str] = None) -> Optional[PtpResult]:
         """The cached result for ``config``, or None (counted as a miss).
 
         The returned result carries the *live* ``config`` object, so it is
         indistinguishable from a freshly computed one; metrics are
         recomputed from the stored timelines, which round-trip exactly.
+        ``salt`` must match the one the result was stored under.
         """
-        path = self._path(config_fingerprint(config))
+        fingerprint = config_fingerprint(config, salt)
+        entry = self._memory.get(fingerprint)
+        if entry is not None:
+            self._memory.move_to_end(fingerprint)
+            samples, digest, outcome, source, trials = entry
+            result = PtpResult(config=config, samples=list(samples),
+                               event_digest=digest, fault_outcome=outcome,
+                               source=source, trials=trials)
+            self.hits += 1
+            self.memory_hits += 1
+            return result
+        path = self._path(fingerprint)
         try:
             data = json.loads(path.read_text())
         except (OSError, ValueError):
@@ -158,19 +230,24 @@ class ResultCache:
         if data.get("schema") != CACHE_SCHEMA_VERSION:
             self.misses += 1
             return None
+        record = data["result"]
         result = PtpResult(config=config,
-                           event_digest=data["result"].get("event_digest"))
-        outcome = data["result"].get("fault_outcome")
+                           event_digest=record.get("event_digest"),
+                           source=record.get("source", "des"),
+                           trials=record.get("trials", 1))
+        outcome = record.get("fault_outcome")
         if outcome is not None:
             result.fault_outcome = FaultOutcome.from_dict(outcome)
-        for s in data["result"]["samples"]:
+        for s in record["samples"]:
             result.samples.append(sample_from_dict(s))
         self.hits += 1
+        self._remember(fingerprint, result)
         return result
 
-    def put(self, config: PtpBenchmarkConfig, result: PtpResult) -> None:
+    def put(self, config: PtpBenchmarkConfig, result: PtpResult,
+            salt: Optional[str] = None) -> None:
         """Store ``result`` under ``config``'s fingerprint (atomic)."""
-        fingerprint = config_fingerprint(config)
+        fingerprint = config_fingerprint(config, salt)
         path = self._path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -183,6 +260,11 @@ class ResultCache:
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)
         self.stores += 1
+        # The memory tier holds *validated reads* only — remembering the
+        # put here would let a get return an entry that no longer
+        # matches what is on disk (e.g. after an external rewrite).  The
+        # first get pays one JSON parse; every later one is free.
+        self._memory.pop(fingerprint, None)
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""
@@ -191,10 +273,11 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (both tiers); returns how many were on disk."""
         removed = len(self)
         if self.root.exists():
             shutil.rmtree(self.root)
+        self._memory.clear()
         return removed
 
 
@@ -210,16 +293,27 @@ class SweepStats:
     total_cells: int = 0
     executed: int = 0
     cache_hits: int = 0
+    #: Cells answered by the closed-form evaluator (no simulation).
+    analytic: int = 0
+    #: Benchmark trials simulated across all executed cells — worker
+    #: processes included (their counts ship back with the results), so
+    #: this is accurate under ``jobs > 1`` where the in-process
+    #: ``ExecutionCounter`` by design is not.
+    trials: int = 0
 
     @property
     def cache_misses(self) -> int:
-        """Cells that had to be simulated despite a cache being attached."""
+        """Cells that had to be computed despite a cache being attached."""
         return self.total_cells - self.cache_hits
 
     def describe(self) -> str:
         """One-line summary for sweep reports."""
-        return (f"{self.total_cells} cells: {self.executed} executed, "
-                f"{self.cache_hits} cache hits (jobs={self.jobs})")
+        line = (f"{self.total_cells} cells: {self.executed} executed "
+                f"({self.trials} trials)")
+        if self.analytic:
+            line += f", {self.analytic} analytic"
+        line += f", {self.cache_hits} cache hits (jobs={self.jobs})"
+        return line
 
 
 def plan_cells(base: PtpBenchmarkConfig,
@@ -248,19 +342,27 @@ def plan_cells(base: PtpBenchmarkConfig,
     return cells
 
 
-def _execute_cell(config: PtpBenchmarkConfig) -> Dict:
+def _run_des_cell(config: PtpBenchmarkConfig, planner=None) -> PtpResult:
+    """One cell through the simulator, adaptively re-trialled if planned."""
+    if planner is not None:
+        return planner.run_cell(config)
+    return run_ptp_benchmark(config)
+
+
+def _execute_cell(config: PtpBenchmarkConfig, planner=None) -> Dict:
     """Worker entry point: run one cell, ship raw timelines + digest back.
 
-    Only the sample timelines and the event-stream digest cross the
-    process boundary; the parent recomputes the derived metrics from the
-    timelines, exactly as a deserializing load does, so parallel results
-    match serial ones bit for bit — and the shipped digest proves the
-    worker's event stream was identical too.
+    Only the sample timelines, the event-stream digest, and the trial
+    count cross the process boundary; the parent recomputes the derived
+    metrics from the timelines, exactly as a deserializing load does, so
+    parallel results match serial ones bit for bit — and the shipped
+    digest proves the worker's event stream was identical too.
     """
-    result = run_ptp_benchmark(config)
+    result = _run_des_cell(config, planner)
     shipped = {
         "samples": [sample_to_dict(s) for s in result.samples],
         "event_digest": result.event_digest,
+        "trials": result.trials,
     }
     if result.fault_outcome is not None:
         shipped["fault_outcome"] = result.fault_outcome.to_dict()
@@ -270,7 +372,8 @@ def _execute_cell(config: PtpBenchmarkConfig) -> Dict:
 def _result_from_shipped(config: PtpBenchmarkConfig,
                          shipped: Dict) -> PtpResult:
     result = PtpResult(config=config,
-                       event_digest=shipped.get("event_digest"))
+                       event_digest=shipped.get("event_digest"),
+                       trials=shipped.get("trials", 1))
     outcome = shipped.get("fault_outcome")
     if outcome is not None:
         result.fault_outcome = FaultOutcome.from_dict(outcome)
@@ -279,10 +382,16 @@ def _result_from_shipped(config: PtpBenchmarkConfig,
     return result
 
 
+#: ``analytic`` dispatch modes accepted by :func:`run_cells`.
+ANALYTIC_MODES = ("off", "auto", "only")
+
+
 def run_cells(cells: Sequence[PtpBenchmarkConfig],
               jobs: Optional[int] = None,
               cache: Optional[Union[ResultCache, str, pathlib.Path]] = None,
               progress: Optional[Callable[[PtpBenchmarkConfig], None]] = None,
+              analytic: str = "off",
+              planner=None,
               ) -> Tuple[List[PtpResult], SweepStats]:
     """Produce one result per cell, in order; the engine behind sweeps.
 
@@ -301,42 +410,81 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
     progress:
         Called with each cell's config as it is *planned* (before any
         simulation), mirroring the serial sweep's callback contract.
+    analytic:
+        ``"off"`` (default) simulates every cell; ``"auto"`` answers
+        analytic-eligible cache misses with the closed-form evaluator
+        (:mod:`repro.analytic`) and simulates the rest; ``"only"``
+        raises on any cell the evaluator cannot answer.  Analytic
+        results carry ``source="analytic"`` and are *not* written to the
+        cache — the evaluator is already faster than a disk read.
+    planner:
+        An :class:`~repro.metrics.AdaptiveTrialPlanner`; nondeterministic
+        DES cells then run trials until their CI target is met.  Planned
+        results are cached under a planner-salted fingerprint so they
+        never alias fixed-trial entries.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1: {jobs}")
+    if analytic not in ANALYTIC_MODES:
+        raise ConfigurationError(
+            f"analytic must be one of {ANALYTIC_MODES}: {analytic!r}")
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
+    # Imported lazily: repro.analytic imports this package's runner, so a
+    # module-scope import would be circular for ``import repro.analytic``.
+    if analytic != "off":
+        from ..analytic import analytic_supported, evaluate_analytic
 
+    def cell_salt(config: PtpBenchmarkConfig) -> Optional[str]:
+        # The planner only changes what runs for nondeterministic cells;
+        # deterministic ones stay bit-compatible with unplanned entries.
+        if planner is not None and not config.is_deterministic:
+            return planner.cache_salt()
+        return None
+
+    stats = SweepStats(jobs=jobs, total_cells=len(cells))
     results: Dict[int, PtpResult] = {}
     pending: List[Tuple[int, PtpBenchmarkConfig]] = []
     for i, config in enumerate(cells):
         if progress is not None:
             progress(config)
-        cached = cache.get(config) if cache is not None else None
+        cached = (cache.get(config, salt=cell_salt(config))
+                  if cache is not None else None)
         if cached is not None:
             results[i] = cached
-        else:
-            pending.append((i, config))
+            continue
+        if analytic != "off":
+            reason = analytic_supported(config)
+            if reason is None:
+                results[i] = evaluate_analytic(config)
+                stats.analytic += 1
+                continue
+            if analytic == "only":
+                raise ConfigurationError(
+                    f"analytic=only, but cell {config.label()} needs the "
+                    f"simulator: {reason}")
+        pending.append((i, config))
 
-    stats = SweepStats(jobs=jobs, total_cells=len(cells),
-                       executed=len(pending),
-                       cache_hits=len(cells) - len(pending))
+    stats.executed = len(pending)
+    stats.cache_hits = len(cells) - len(pending) - stats.analytic
 
     if pending:
         if jobs == 1 or len(pending) == 1:
             for i, config in pending:
-                results[i] = run_ptp_benchmark(config)
+                results[i] = _run_des_cell(config, planner)
         else:
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                shipped = pool.map(_execute_cell,
-                                   [config for _, config in pending])
+                shipped = pool.map(
+                    functools.partial(_execute_cell, planner=planner),
+                    [config for _, config in pending])
                 for (i, config), payload in zip(pending, shipped):
                     results[i] = _result_from_shipped(config, payload)
-        if cache is not None:
-            for i, config in pending:
-                cache.put(config, results[i])
+        for i, config in pending:
+            stats.trials += results[i].trials
+            if cache is not None:
+                cache.put(config, results[i], salt=cell_salt(config))
 
     return [results[i] for i in range(len(cells))], stats

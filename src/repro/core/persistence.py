@@ -86,10 +86,11 @@ def sample_from_dict(data: Dict) -> PtpSample:
 def result_to_dict(result: PtpResult) -> Dict:
     """Serialize one configuration's result (timelines are lossless).
 
-    The event-stream digest and the fault outcome ride along when
-    present (additive fields — the format version is unchanged, and old
-    records simply load with ``event_digest=None`` /
-    ``fault_outcome=None``).
+    The event-stream digest, the fault outcome, and non-default
+    provenance (``source``/``trials``) ride along when present (additive
+    fields — the format version is unchanged, and old records simply
+    load with the defaults: ``event_digest=None``, ``fault_outcome=None``,
+    one simulated trial).
     """
     out = {
         "config": _config_snapshot(result.config),
@@ -99,6 +100,10 @@ def result_to_dict(result: PtpResult) -> Dict:
         out["event_digest"] = result.event_digest
     if result.fault_outcome is not None:
         out["fault_outcome"] = result.fault_outcome.to_dict()
+    if result.source != "des":
+        out["source"] = result.source
+    if result.trials != 1:
+        out["trials"] = result.trials
     return out
 
 
@@ -114,7 +119,9 @@ def result_from_dict(data: Dict) -> PtpResult:
     except KeyError as exc:
         raise ConfigurationError(f"malformed result record: missing {exc}")
     result = PtpResult(config=config,
-                       event_digest=data.get("event_digest"))
+                       event_digest=data.get("event_digest"),
+                       source=data.get("source", "des"),
+                       trials=data.get("trials", 1))
     outcome = data.get("fault_outcome")
     if outcome is not None:
         result.fault_outcome = FaultOutcome.from_dict(outcome)

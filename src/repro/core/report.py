@@ -15,7 +15,7 @@ from .sweep import METRIC_NAMES, SweepResult
 
 __all__ = ["format_bytes", "format_seconds", "ascii_table",
            "metric_table", "series_table", "fault_table",
-           "METRIC_FORMATS"]
+           "provenance_line", "METRIC_FORMATS"]
 
 
 def format_bytes(n: int) -> str:
@@ -102,6 +102,28 @@ def metric_table(sweep: SweepResult, metric: str,
         rows.append(row)
     default = f"{metric} ({suffix})" if suffix else metric
     return ascii_table(headers, rows, title=title or default)
+
+
+def provenance_line(sweep: SweepResult) -> Optional[str]:
+    """How the sweep's numbers were produced, when it is worth saying.
+
+    Mixed-provenance sweeps (some cells closed-form, some simulated —
+    the ``--analytic auto`` steady state) get one line of source counts
+    so a reader of the tables knows which engine stands behind them.
+    Returns ``None`` for all-DES single-trial sweeps, the historical
+    default, so existing reports stay byte-identical.
+    """
+    analytic = sum(1 for p in sweep.points if p.result.source == "analytic")
+    des = len(sweep.points) - analytic
+    trials = sum(p.result.trials for p in sweep.points)
+    if analytic == 0 and trials == des:
+        return None
+    parts = []
+    if analytic:
+        parts.append(f"{analytic} cell(s) closed-form")
+    if des:
+        parts.append(f"{des} cell(s) simulated ({trials} trials)")
+    return "sources: " + ", ".join(parts)
 
 
 def fault_table(sweep: SweepResult,

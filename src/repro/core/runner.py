@@ -98,12 +98,21 @@ class PtpResult:
     :class:`~repro.faults.FaultPlan`: what the fault machinery saw, and —
     for trials that hit the deadline, a fail-stop, or an exhausted retry
     budget — why the samples are partial or absent.
+
+    ``source`` records how the samples were produced: ``"des"`` for
+    simulated trials, ``"analytic"`` for closed-form evaluations (see
+    :mod:`repro.analytic`).  ``trials`` is how many simulations fed the
+    samples — 1 for a plain trial, more when an
+    :class:`~repro.metrics.AdaptiveTrialPlanner` merged repetitions, and
+    0 for analytic results (nothing was simulated).
     """
 
     config: PtpBenchmarkConfig
     samples: List[PtpSample] = field(default_factory=list)
     event_digest: Optional[str] = None
     fault_outcome: Optional[FaultOutcome] = None
+    source: str = "des"
+    trials: int = 1
 
     def _summary(self, attr: str) -> SampleSummary:
         return summarize([getattr(s.metrics, attr) for s in self.samples])

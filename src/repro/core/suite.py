@@ -47,6 +47,7 @@ def fig4_overhead(quick: bool = True,
                   sizes: Optional[Sequence[int]] = None,
                   counts: Optional[Sequence[int]] = None,
                   jobs: int = 1, cache=None,
+                  analytic: str = "off", planner=None,
                   **overrides) -> Dict[str, SweepResult]:
     """Figure 4: overhead vs message size, hot and cold cache, no noise,
     10 ms compute.  Returns ``{"hot": sweep, "cold": sweep}``."""
@@ -58,7 +59,8 @@ def fig4_overhead(quick: bool = True,
             compute_seconds=0.010, noise=NoNoise(), cache=cache_mode,
             iterations=3 if quick else 7, **overrides)
         out[cache_mode] = sweep_ptp(base, sizes, counts,
-                                    jobs=jobs, cache=cache)
+                                    jobs=jobs, cache=cache,
+                                    analytic=analytic, planner=planner)
     return out
 
 
@@ -66,6 +68,7 @@ def fig5_perceived_bandwidth(quick: bool = True,
                              sizes: Optional[Sequence[int]] = None,
                              counts: Optional[Sequence[int]] = None,
                              jobs: int = 1, cache=None,
+                             analytic: str = "off", planner=None,
                              **overrides
                              ) -> Dict[Tuple[float, float], SweepResult]:
     """Figure 5: perceived bandwidth under uniform noise, hot cache.
@@ -85,7 +88,8 @@ def fig5_perceived_bandwidth(quick: bool = True,
             noise=noise, cache=HOT,
             iterations=3 if quick else 7, **overrides)
         out[(pct, comp)] = sweep_ptp(base, sizes, counts,
-                                     jobs=jobs, cache=cache)
+                                     jobs=jobs, cache=cache,
+                                     analytic=analytic, planner=planner)
     return out
 
 
@@ -94,6 +98,7 @@ def fig6_availability(quick: bool = True,
                       counts: Optional[Sequence[int]] = None,
                       noise_percent: float = 4.0,
                       jobs: int = 1, cache=None,
+                      analytic: str = "off", planner=None,
                       **overrides) -> Dict[float, SweepResult]:
     """Figure 6: application availability, single-thread delay model,
     4% noise, hot cache; panels keyed by compute seconds (10 ms, 100 ms)."""
@@ -106,7 +111,8 @@ def fig6_availability(quick: bool = True,
             noise=SingleThreadNoise(noise_percent), cache=HOT,
             iterations=3 if quick else 9, **overrides)
         out[comp] = sweep_ptp(base, sizes, counts,
-                              jobs=jobs, cache=cache)
+                              jobs=jobs, cache=cache,
+                              analytic=analytic, planner=planner)
     return out
 
 
@@ -115,6 +121,7 @@ def fig7_noise_models(quick: bool = True,
                       partitions: int = 16,
                       noise_percent: float = 4.0,
                       jobs: int = 1, cache=None,
+                      analytic: str = "off", planner=None,
                       **overrides) -> Dict[float, Dict[str, SweepResult]]:
     """Figure 7: availability per noise model at 16 partitions, 4% noise.
 
@@ -136,7 +143,8 @@ def fig7_noise_models(quick: bool = True,
                 compute_seconds=comp, noise=noise, cache=HOT,
                 iterations=3 if quick else 9, **overrides)
             panel[name] = sweep_ptp(base, sizes, [partitions],
-                                    jobs=jobs, cache=cache)
+                                    jobs=jobs, cache=cache,
+                                    analytic=analytic, planner=planner)
         out[comp] = panel
     return out
 
@@ -146,6 +154,7 @@ def fig8_early_bird(quick: bool = True,
                     counts: Optional[Sequence[int]] = None,
                     noise_percent: float = 4.0,
                     jobs: int = 1, cache=None,
+                    analytic: str = "off", planner=None,
                     **overrides) -> Dict[float, SweepResult]:
     """Figure 8: % early-bird communication under uniform noise; panels
     keyed by compute seconds (10 ms, 100 ms).
@@ -162,5 +171,6 @@ def fig8_early_bird(quick: bool = True,
             noise=UniformNoise(noise_percent), cache=HOT,
             iterations=3 if quick else 9, **overrides)
         out[comp] = sweep_ptp(base, sizes, counts,
-                              jobs=jobs, cache=cache)
+                              jobs=jobs, cache=cache,
+                              analytic=analytic, planner=planner)
     return out

@@ -138,6 +138,8 @@ def sweep_ptp(base: PtpBenchmarkConfig,
               jobs: int = 1,
               cache=None,
               derive_seeds: bool = True,
+              analytic: str = "off",
+              planner=None,
               ) -> SweepResult:
     """Run the grid ``message_sizes`` × ``partition_counts`` from ``base``.
 
@@ -152,13 +154,16 @@ def sweep_ptp(base: PtpBenchmarkConfig,
     :mod:`repro.core.parallel`.  With ``derive_seeds`` (default) each
     cell's noise stream is seeded from the base seed and the cell
     coordinates, decorrelating cells; pass ``False`` to reuse ``base.seed``
-    everywhere.
+    everywhere.  ``analytic``/``planner`` select the closed-form fast
+    path and CI-targeted trial allocation — see
+    :func:`~repro.core.parallel.run_cells`.
     """
     from .parallel import plan_cells, run_cells
     cells = plan_cells(base, message_sizes, partition_counts,
                        derive_seeds=derive_seeds)
     results, stats = run_cells(cells, jobs=jobs, cache=cache,
-                               progress=progress)
+                               progress=progress, analytic=analytic,
+                               planner=planner)
     sweep = SweepResult(stats=stats)
     for config, result in zip(cells, results):
         sweep.add(SweepPoint(config=config, result=result))

@@ -7,7 +7,9 @@ from .definitions import (
     overhead,
     perceived_bandwidth,
 )
-from .statistics import SampleSummary, pruned_mean, summarize, trim_outliers
+from .planner import DEFAULT_PLANNER_METRICS, AdaptiveTrialPlanner
+from .statistics import (SampleSummary, ci_halfwidth, pruned_mean, summarize,
+                         trim_outliers)
 from .timeline import PartitionTimeline
 
 __all__ = [
@@ -17,8 +19,11 @@ __all__ = [
     "overhead",
     "perceived_bandwidth",
     "SampleSummary",
+    "ci_halfwidth",
     "pruned_mean",
     "summarize",
     "trim_outliers",
     "PartitionTimeline",
+    "AdaptiveTrialPlanner",
+    "DEFAULT_PLANNER_METRICS",
 ]

@@ -1,0 +1,182 @@
+"""CI-width-targeted trial allocation for noisy and faulty cells.
+
+Hunold & Carpen-Amarie ("MPI Benchmarking Revisited", PAPERS.md) showed
+that a fixed repetition count spends most of its budget on cells that
+converged after a handful of samples.  :class:`AdaptiveTrialPlanner`
+replaces the fixed count: it runs whole benchmark trials in batches and
+stops a cell as soon as the pruned-mean confidence interval of every
+watched metric is narrower than a relative target — bounded below by
+``min_trials`` (never trust two samples) and above by ``max_trials``
+(never let one pathological cell eat the sweep).
+
+Determinism: trial ``t`` of a cell reseeds the configuration with
+``derive_cell_seed(seed, m, n, trial=t)`` (trial 0 keeps the
+configuration's own seed, so a planner run is a strict superset of the
+unplanned run).  The same configuration therefore always produces the
+same trial count, the same samples, and the same merged digest — planner
+results are cacheable like any other, keyed with the planner's
+:meth:`~AdaptiveTrialPlanner.cache_salt` so changing the targets never
+aliases an old entry.
+
+Deterministic cells bypass the loop entirely — every trial would be
+bit-identical, so repetitions add spread of exactly zero and the planner
+runs one plain trial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from .statistics import ci_halfwidth, pruned_mean
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> metrics)
+    from ..core.config import PtpBenchmarkConfig
+    from ..core.runner import PtpResult
+
+__all__ = ["AdaptiveTrialPlanner", "DEFAULT_PLANNER_METRICS"]
+
+#: Metrics whose CI must converge (Eq. 1–3; the early-bird fraction is a
+#: ratio of counts and is often exactly zero, which makes a *relative*
+#: target meaningless for it).
+DEFAULT_PLANNER_METRICS: Tuple[str, ...] = (
+    "overhead", "perceived_bandwidth", "application_availability")
+
+
+@dataclass(frozen=True)
+class AdaptiveTrialPlanner:
+    """Run trials per cell until the pruned-mean CI is tight enough.
+
+    Attributes
+    ----------
+    ci_target:
+        Relative half-width target: stop when ``halfwidth <= ci_target *
+        |pruned mean|`` for every metric in ``metrics``.
+    min_trials / max_trials:
+        Hard bounds on the number of simulations per nondeterministic
+        cell.
+    batch:
+        Trials added between convergence checks after ``min_trials``.
+    confidence_z:
+        Normal quantile of the interval (1.96 ≈ 95%).
+    trim_fraction:
+        Outlier pruning applied before both the mean and its CI — the
+        interval describes the statistic the reports publish.
+    """
+
+    ci_target: float = 0.05
+    min_trials: int = 3
+    max_trials: int = 20
+    batch: int = 2
+    confidence_z: float = 1.96
+    trim_fraction: float = 0.05
+    metrics: Tuple[str, ...] = DEFAULT_PLANNER_METRICS
+
+    def __post_init__(self) -> None:
+        if self.ci_target <= 0:
+            raise ConfigurationError(
+                f"ci_target must be > 0: {self.ci_target}")
+        if self.min_trials < 1:
+            raise ConfigurationError(
+                f"min_trials must be >= 1: {self.min_trials}")
+        if self.max_trials < self.min_trials:
+            raise ConfigurationError(
+                f"max_trials ({self.max_trials}) must be >= min_trials "
+                f"({self.min_trials})")
+        if self.batch < 1:
+            raise ConfigurationError(f"batch must be >= 1: {self.batch}")
+        if not self.metrics:
+            raise ConfigurationError("planner needs at least one metric")
+
+    def cache_salt(self) -> str:
+        """Distinguishes planner-merged results in the ``ResultCache``.
+
+        Two sweeps with different convergence settings may run different
+        trial counts for the same cell; salting the fingerprint keeps
+        their cache entries apart (and apart from unplanned results).
+        """
+        return ("planner|" + "|".join(
+            f"{v:g}" if isinstance(v, float) else str(v)
+            for v in (self.ci_target, self.min_trials, self.max_trials,
+                      self.batch, self.confidence_z, self.trim_fraction))
+            + "|" + ",".join(self.metrics))
+
+    def _converged(self, values: List[float]) -> bool:
+        if len(values) < 2:
+            return False
+        halfwidth = ci_halfwidth(values, self.confidence_z,
+                                 self.trim_fraction)
+        mean = pruned_mean(values, self.trim_fraction)
+        if mean == 0.0:
+            return halfwidth == 0.0
+        return halfwidth <= self.ci_target * abs(mean)
+
+    def run_cell(self, config: "PtpBenchmarkConfig") -> "PtpResult":
+        """All trials of one cell, merged into a single ``PtpResult``.
+
+        Samples from successive trials are concatenated and renumbered;
+        the merged event digest hashes the per-trial digests in order,
+        so it still proves "same trials, same events, same order".  A
+        deterministic configuration short-circuits to one plain trial.
+        """
+        # Imported here: core.runner imports repro.metrics at module
+        # scope, so a top-level import would be circular.
+        from ..core.parallel import derive_cell_seed
+        from ..core.runner import run_ptp_benchmark
+
+        if config.is_deterministic:
+            return run_ptp_benchmark(config)
+
+        results = []
+
+        def run_more(count: int) -> None:
+            for _ in range(count):
+                t = len(results)
+                cfg = config if t == 0 else config.with_overrides(
+                    seed=derive_cell_seed(config.seed, config.message_bytes,
+                                          config.partitions, trial=t))
+                results.append(run_ptp_benchmark(cfg))
+
+        def metric_values(name: str) -> List[float]:
+            return [getattr(s.metrics, name)
+                    for r in results for s in r.samples]
+
+        run_more(self.min_trials)
+        while len(results) < self.max_trials:
+            values = [metric_values(name) for name in self.metrics]
+            # A faulty cell can abandon every iteration; empty sample
+            # sets carry no information, so keep sampling to the cap.
+            if all(v and self._converged(v) for v in values):
+                break
+            run_more(min(self.batch, self.max_trials - len(results)))
+
+        return _merge_trials(config, results)
+
+
+def _merge_trials(config: "PtpBenchmarkConfig",
+                  results: list) -> "PtpResult":
+    """Concatenate trial results into one ``PtpResult`` (trial order)."""
+    from ..core.runner import PtpResult, PtpSample
+
+    merged = PtpResult(config=config, source="des", trials=len(results))
+    iteration = 0
+    for r in results:
+        for s in r.samples:
+            merged.samples.append(PtpSample(
+                iteration=iteration, timeline=s.timeline,
+                metrics=s.metrics))
+            iteration += 1
+    if len(results) == 1:
+        merged.event_digest = results[0].event_digest
+    else:
+        blob = "|".join(r.event_digest or "-" for r in results)
+        merged.event_digest = hashlib.sha256(
+            blob.encode("ascii")).hexdigest()
+    outcomes = [r.fault_outcome for r in results if r.fault_outcome]
+    if outcomes:
+        # Trial 0 runs the configuration's own seed; its outcome is the
+        # one an unplanned run would have reported.
+        merged.fault_outcome = outcomes[0]
+    return merged

@@ -16,7 +16,8 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["pruned_mean", "trim_outliers", "SampleSummary", "summarize"]
+__all__ = ["pruned_mean", "trim_outliers", "SampleSummary", "summarize",
+           "ci_halfwidth"]
 
 
 def trim_outliers(values: Sequence[float],
@@ -44,6 +45,27 @@ def pruned_mean(values: Sequence[float],
                 trim_fraction: float = 0.05) -> float:
     """The paper's reporting statistic: mean after pruning extremes."""
     return float(np.mean(trim_outliers(values, trim_fraction)))
+
+
+def ci_halfwidth(values: Sequence[float],
+                 confidence_z: float = 1.96,
+                 trim_fraction: float = 0.05) -> float:
+    """Half-width of the normal-approximation CI around the pruned mean.
+
+    ``z * s / sqrt(k)`` over the *trimmed* sample set (the same pruning
+    the reported mean uses, so the interval describes the statistic we
+    actually publish).  Fewer than two surviving samples carry no spread
+    information: return ``inf`` so convergence loops keep sampling.
+    """
+    if confidence_z <= 0:
+        raise ConfigurationError(
+            f"confidence_z must be > 0: {confidence_z}")
+    if len(values) < 2:
+        return float("inf")
+    arr = trim_outliers(values, trim_fraction)
+    if arr.size < 2:
+        return float("inf")
+    return float(confidence_z * np.std(arr, ddof=1) / np.sqrt(arr.size))
 
 
 @dataclass(frozen=True)

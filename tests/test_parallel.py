@@ -211,3 +211,112 @@ class TestResultCache:
         again = sweep_ptp(base, SIZES, COUNTS, jobs=2, cache=cache)
         assert EXECUTIONS.value == 0
         assert again.stats.cache_hits == 4
+
+
+# ---------------------------------------------------------------------------
+# The in-process memory tier and result provenance (cache schema v4)
+# ---------------------------------------------------------------------------
+
+class TestMemoryTier:
+    def test_repeat_get_served_from_memory(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        cache.put(config, run_ptp_benchmark(config))
+        first = cache.get(config)     # disk read, validates + remembers
+        second = cache.get(config)    # memory tier, no JSON parse
+        assert first is not None and second is not None
+        assert cache.memory_hits == 1
+        assert second.event_digest == first.event_digest
+        assert [s.timeline for s in second.samples] == \
+            [s.timeline for s in first.samples]
+
+    def test_memory_tier_returns_fresh_objects(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        cache.put(config, run_ptp_benchmark(config))
+        a = cache.get(config)
+        b = cache.get(config)
+        assert a is not b
+        a.samples.clear()             # mutating one copy must not leak
+        assert cache.get(config).samples
+
+    def test_put_invalidates_memory_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(noise=UniformNoise(4.0)), [1024], [1])[0]
+        cache.put(config, run_ptp_benchmark(config))
+        cache.get(config)
+        fresh = run_ptp_benchmark(config)
+        cache.put(config, fresh)      # overwrite drops the memory entry
+        loaded = cache.get(config)
+        assert cache.memory_hits == 0  # both gets re-read the disk file
+        assert loaded.event_digest == fresh.event_digest
+
+    def test_memory_tier_is_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", memory_entries=2)
+        cells = plan_cells(_base(), [1024, 65536], [1, 4])
+        for config in cells:
+            cache.put(config, run_ptp_benchmark(config))
+            cache.get(config)
+        assert len(cache._memory) == 2  # LRU evicted the first two
+
+    def test_clear_empties_memory_tier(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        cache.put(config, run_ptp_benchmark(config))
+        cache.get(config)
+        cache.clear()
+        assert cache.get(config) is None
+
+
+class TestFingerprintMemoization:
+    def test_memoized_on_the_instance(self):
+        config = _base()
+        fp = config_fingerprint(config)
+        assert config.__dict__["_fingerprint"] == fp
+        assert config_fingerprint(config) == fp
+
+    def test_salt_does_not_pollute_the_memo(self):
+        config = _base()
+        plain = config_fingerprint(config)
+        salted = config_fingerprint(config, salt="planner|x")
+        assert salted != plain
+        assert config.__dict__["_fingerprint"] == plain
+        assert config_fingerprint(config) == plain
+
+    def test_salted_fingerprints_distinct(self):
+        config = _base()
+        assert config_fingerprint(config, salt="a") != \
+            config_fingerprint(config, salt="b")
+
+
+class TestProvenanceRoundTrip:
+    def test_trials_and_source_survive_the_cache(self, tmp_path):
+        from repro.metrics import AdaptiveTrialPlanner
+        cache = ResultCache(tmp_path / "cache")
+        planner = AdaptiveTrialPlanner(ci_target=1e-12, min_trials=2,
+                                       max_trials=3, batch=1)
+        config = plan_cells(_base(noise=UniformNoise(4.0)), [1024], [4])[0]
+        salt = planner.cache_salt()
+        merged = planner.run_cell(config)
+        assert merged.trials == 3
+        cache.put(config, merged, salt=salt)
+        loaded = cache.get(config, salt=salt)
+        assert loaded is not None
+        assert loaded.source == "des"
+        assert loaded.trials == 3
+        assert loaded.event_digest == merged.event_digest
+
+    def test_trials_aggregate_across_worker_processes(self):
+        """--jobs N must report the same trial total as a serial run."""
+        from repro.metrics import AdaptiveTrialPlanner
+        base = _base(noise=UniformNoise(4.0), seed=11)
+        planner = AdaptiveTrialPlanner(ci_target=1e-12, min_trials=2,
+                                       max_trials=3, batch=1)
+        cells = plan_cells(base, SIZES, COUNTS)
+        serial, s_stats = run_cells(cells, jobs=1, planner=planner)
+        parallel, p_stats = run_cells(cells, jobs=2, planner=planner)
+        assert s_stats.trials == sum(r.trials for r in serial) > 4
+        assert p_stats.trials == s_stats.trials
+        for s, p in zip(serial, parallel):
+            assert s.trials == p.trials
+            assert s.event_digest == p.event_digest
