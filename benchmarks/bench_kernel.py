@@ -252,3 +252,29 @@ def test_faults_off_trial_cost(benchmark):
     result = benchmark(run_ptp_benchmark, cfg)
     assert result.samples
     assert result.fault_outcome is None
+
+
+def test_pool_warm_vs_cold_sweep(benchmark):
+    """A 4-cell sweep on a kept warm pool vs spawn-per-sweep.
+
+    Mirrors the ``pool_warm_sweep`` guard kernel; the guard additionally
+    holds it to <= 0.5x ``pool_cold_spawn`` (the same sweep paying two
+    process spawns, two boots, and a shutdown per call) measured in the
+    same run — the boot-once promise of ``repro.core.pool``.
+    """
+    from repro.core import WorkerPool, plan_cells, run_cells
+
+    base = PtpBenchmarkConfig(message_bytes=1024, partitions=1,
+                              compute_seconds=1e-4, iterations=1, warmup=0)
+    cells = plan_cells(base, [1024, 4096], [1, 2])
+    pool = WorkerPool(2)
+    try:
+        run_cells(cells, jobs=2, pool=pool)  # boot untimed
+
+        def run():
+            results, stats = run_cells(cells, jobs=2, pool=pool)
+            return len(results), stats.warm_hits
+
+        assert benchmark(run) == (4, 4)
+    finally:
+        pool.shutdown()

@@ -50,8 +50,9 @@ BASELINE_PATH = REPO_ROOT / "BENCH_BASELINE.json"
 #:    time-bucketed future queue, recycled sleeps, single-waiter
 #:    dispatch, record-free emission) — the dispatch-heavy kernels run
 #:    1.3-2x faster, so v2 budgets would hide large regressions.
-#:    (Extended in place with the analytic/planner kernels — additive
-#:    entries only, existing scores untouched, so no version bump.)
+#:    (Extended in place with the analytic/planner kernels, then the
+#:    worker-pool warm/cold pair — additive entries only, existing
+#:    scores untouched, so no version bump.)
 BASELINE_VERSION = 3
 
 
@@ -193,6 +194,49 @@ def planner_overhead():
     return len(result.samples)
 
 
+#: The tiny grid behind the pool pair: four cells cheap enough that a
+#: per-sweep process spawn dominates, so the warm/cold ratio measures
+#: exactly the boot-once payoff the pool exists for.
+def _pool_cells():
+    from repro.core import plan_cells
+    base = PtpBenchmarkConfig(message_bytes=1024, partitions=1,
+                              compute_seconds=1e-4, iterations=1, warmup=0)
+    return plan_cells(base, [1024, 4096], [1, 2])
+
+
+_WARM_POOL = None
+
+
+def pool_cold_spawn():
+    """A 4-cell sweep that spawns (and tears down) its pool every time.
+
+    ``run_cells`` with ``jobs=2`` and no ``pool`` is the old
+    per-sweep-executor behaviour: every call pays two process spawns,
+    two worker boots, and the shutdown.
+    """
+    from repro.core import run_cells
+    results, _ = run_cells(_pool_cells(), jobs=2)
+    return len(results)
+
+
+def pool_warm_sweep():
+    """The same 4-cell sweep on a kept, already-warm worker pool.
+
+    The pool boots on the first call — which ``_time_kernel`` runs
+    untimed as its warmup — so the timed repeats measure exactly what a
+    ``--pool keep`` re-sweep costs.  Budgeted at <= 0.5x
+    ``pool_cold_spawn`` in the same run (:data:`RATIO_CHECKS`): if a
+    warm re-sweep ever costs more than half a cold spawn-per-sweep, the
+    persistent pool has lost its reason to exist.
+    """
+    global _WARM_POOL
+    from repro.core import WorkerPool, run_cells
+    if _WARM_POOL is None:
+        _WARM_POOL = WorkerPool(2)
+    results, _ = run_cells(_pool_cells(), jobs=2, pool=_WARM_POOL)
+    return len(results)
+
+
 def _build_sweep():
     sizes = [64 * 4 ** k for k in range(10)]
     counts = [1, 2, 4, 8, 16, 32]
@@ -288,6 +332,8 @@ KERNELS = {
     "analytic_eval": analytic_eval,
     "planner_reference": planner_reference,
     "planner_overhead": planner_overhead,
+    "pool_cold_spawn": pool_cold_spawn,
+    "pool_warm_sweep": pool_warm_sweep,
     "sweep_point_lookup": sweep_point_lookup,
     "obs_emission_disabled": obs_emission_disabled,
     "obs_emission_counted": obs_emission_counted,
@@ -326,6 +372,10 @@ RATIO_CHECKS = (
     # The adaptive planner's bookkeeping must be invisible (<= 5%) when
     # it is forced to run exactly the trials a plain run would.
     ("planner_overhead", "planner_reference", 1.05),
+    # A warm re-sweep on a kept pool must cost at most half of the same
+    # sweep paying spawn + boot + shutdown every time — the boot-once
+    # promise of repro.core.pool.
+    ("pool_warm_sweep", "pool_cold_spawn", 0.5),
 )
 
 

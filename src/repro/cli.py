@@ -28,7 +28,9 @@ from a shell.  ``lint`` and ``check`` expose the
 :mod:`repro.obs` sinks (exit code 2 on unknown ``--kinds`` patterns).
 The point-to-point figures and ``sweep`` run on the parallel engine
 (:mod:`repro.core.parallel`): ``--jobs`` fans grid cells out over worker
-processes and ``--cache-dir`` reuses every already-computed cell, with
+processes — by default one *kept* warm pool (:mod:`repro.core.pool`)
+reused across every sweep the process runs (``--pool per-sweep`` opts
+out) — and ``--cache-dir`` reuses every already-computed cell, with
 results bit-identical to a serial, uncached run (see
 ``docs/performance.md``).
 """
@@ -46,7 +48,7 @@ from .core import (ANALYTIC_MODES, METRIC_NAMES, PtpBenchmarkConfig,
                    fig5_perceived_bandwidth, fig6_availability,
                    fig7_noise_models, fig8_early_bird, metric_table,
                    provenance_line, recommend_partitions, run_ptp_benchmark,
-                   save_sweep, series_table, sweep_ptp)
+                   save_sweep, series_table, shared_pool, sweep_ptp)
 from .core.report import ascii_table, format_bytes
 from .faults import parse_fault_spec
 from .metrics import AdaptiveTrialPlanner
@@ -61,9 +63,14 @@ __all__ = ["main", "build_parser"]
 def _engine_options(args) -> Dict:
     """The engine kwargs a ptp figure driver understands.
 
-    ``jobs``/``cache`` as before, plus ``analytic`` dispatch and — when
+    ``jobs``/``cache`` as before, plus ``analytic`` dispatch, — when
     ``--ci-target`` is given — an :class:`AdaptiveTrialPlanner` for the
-    nondeterministic cells.
+    nondeterministic cells, and the worker pool: ``--pool keep`` (the
+    default) executes on the process-wide :func:`shared_pool`, whose
+    warm workers survive from sweep to sweep; ``--pool per-sweep``
+    restores the old spawn-per-sweep behaviour.  An invalid ``--jobs``
+    (anything below 1) raises :class:`~repro.errors.ConfigurationError`
+    instead of silently falling back to one worker.
     """
     cache_dir = getattr(args, "cache_dir", None)
     ci_target = getattr(args, "ci_target", None)
@@ -73,11 +80,18 @@ def _engine_options(args) -> Dict:
             ci_target=ci_target,
             min_trials=getattr(args, "ci_min_trials", 3),
             max_trials=getattr(args, "ci_max_trials", 20))
+    jobs = getattr(args, "jobs", 1)
+    if jobs is None:  # --jobs default when os.cpu_count() is unknown
+        jobs = os.cpu_count() or 1
+    pool = None
+    if jobs > 1 and getattr(args, "pool", "keep") == "keep":
+        pool = shared_pool(jobs)
     return {
-        "jobs": getattr(args, "jobs", 1) or 1,
+        "jobs": jobs,
         "cache": ResultCache(cache_dir) if cache_dir else None,
         "analytic": getattr(args, "analytic", "off"),
         "planner": planner,
+        "pool": pool,
     }
 
 
@@ -95,7 +109,12 @@ def _engine_footer(sweeps, cache: Optional[ResultCache]) -> str:
             f"({trials} trials)")
     if analytic:
         line += f", {analytic} analytic"
-    line += f", {hits} cache hits (jobs={stats[0].jobs})"
+    line += f", {hits} cache hits"
+    if any(s.worker_cells for s in stats):
+        warm = sum(s.warm_hits for s in stats)
+        stolen = sum(s.stolen_cells for s in stats)
+        line += f", {warm} warm, {stolen} stolen"
+    line += f" (jobs={stats[0].jobs})"
     if cache is not None:
         line += f"; cache at {cache.root} now holds {len(cache)} entries"
     return "\n\n" + line
@@ -383,7 +402,7 @@ def _cmd_sweep(args) -> str:
     cache = engine["cache"]
     sweep = sweep_ptp(base, sizes, counts, jobs=engine["jobs"],
                       cache=cache, analytic=engine["analytic"],
-                      planner=engine["planner"])
+                      planner=engine["planner"], pool=engine["pool"])
     metrics = METRIC_NAMES if args.metric == "all" else (args.metric,)
     parts = [metric_table(sweep, metric, title=f"sweep — {metric}")
              for metric in metrics]
@@ -593,6 +612,11 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=os.cpu_count(), metavar="N",
         help="worker processes for grid cells (default: all cores); "
              "results are bit-identical to --jobs 1")
+    parser.add_argument(
+        "--pool", default="keep", choices=["keep", "per-sweep"],
+        help="worker-pool lifetime: 'keep' (default) reuses one warm "
+             "pool across every sweep this process runs; 'per-sweep' "
+             "spawns and tears down workers for each sweep")
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="content-addressed result cache: cells whose config is "

@@ -6,8 +6,9 @@ Layers:
   parameter space, measured per the paper's Figure 3 procedure.
 * :func:`sweep_ptp` / :class:`SweepResult` — grids over message size ×
   partition count.
-* :mod:`~repro.core.parallel` — the sweep execution engine: process-pool
-  fan-out plus a content-addressed result cache, bit-identical to serial.
+* :mod:`~repro.core.parallel` — the sweep execution engine: fan-out over
+  a persistent :mod:`~repro.core.pool` of warm workers plus a
+  content-addressed result cache, bit-identical to serial.
 * ``fig4_…``–``fig8_…`` — per-figure experiment drivers (suite module).
 * :func:`recommend_partitions` — the developer-guidance advisor.
 * :mod:`~repro.core.report` — the text tables the harness prints.
@@ -24,6 +25,8 @@ from .parallel import (ANALYTIC_MODES, ResultCache, SweepStats,
 from .persistence import (load_sweep, result_from_dict,
                           result_to_dict, save_sweep,
                           sweep_from_dict, sweep_to_dict)
+from .pool import (PoolRunStats, PoolTaskError, WorkerPool, shared_pool,
+                   shutdown_shared_pool)
 from .plot import ascii_plot
 from .report import (METRIC_FORMATS, ascii_table, fault_table, format_bytes,
                      format_seconds, metric_table, provenance_line,
@@ -55,6 +58,11 @@ __all__ = [
     "derive_cell_seed",
     "plan_cells",
     "run_cells",
+    "PoolRunStats",
+    "PoolTaskError",
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_shared_pool",
     "ascii_plot",
     "load_sweep",
     "result_from_dict",

@@ -5,10 +5,14 @@ simulations: each cell builds its own two-rank cluster from its own
 config, so cells can run in any order — or concurrently — without
 changing a single bit of any result.  This module exploits that twice:
 
-* :func:`run_sweep` fans grid cells out over a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` workers),
-  reassembling results in the serial cell order so a parallel sweep is
-  bit-identical to ``jobs=1``.
+* :func:`run_cells` fans grid cells out over a persistent
+  :class:`~repro.core.pool.WorkerPool` (``jobs`` workers, spawned
+  lazily and clamped to the pending cell count), reassembling streamed
+  results in the serial cell order so a parallel sweep is bit-identical
+  to ``jobs=1`` — and a reused warm pool is bit-identical to both.
+  Under an :class:`~repro.metrics.AdaptiveTrialPlanner` the unit of
+  pool work shrinks from a cell to a single trial, so CI-targeted
+  refinement of one noisy cell overlaps with every other cell's trials.
 * :class:`ResultCache` is a content-addressed store keyed by
   :func:`config_fingerprint` — a stable hash of the *fully resolved*
   :class:`~repro.core.config.PtpBenchmarkConfig`, substrate presets
@@ -25,14 +29,12 @@ which recomputes the derived metrics exactly as a serial run would.
 from __future__ import annotations
 
 import dataclasses
-import functools
 import hashlib
 import json
 import os
 import pathlib
 import shutil
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from enum import Enum
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
@@ -40,7 +42,8 @@ from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
 from ..errors import ConfigurationError
 from ..faults import FaultOutcome
 from .config import PtpBenchmarkConfig
-from .persistence import result_to_dict, sample_from_dict, sample_to_dict
+from .persistence import result_to_dict, sample_from_dict
+from .pool import WorkerPool, result_from_shipped
 from .runner import PtpResult, run_ptp_benchmark
 
 __all__ = ["CACHE_SCHEMA_VERSION", "ANALYTIC_MODES", "SweepStats",
@@ -300,6 +303,16 @@ class SweepStats:
     #: this is accurate under ``jobs > 1`` where the in-process
     #: ``ExecutionCounter`` by design is not.
     trials: int = 0
+    #: Pool tasks executed by a worker that was already warm (booted
+    #: before this sweep started) — nonzero only when a kept pool is
+    #: reused across sweeps.
+    warm_hits: int = 0
+    #: Pool tasks an idle worker stole from a loaded peer's queue.
+    stolen_cells: int = 0
+    #: Completed pool tasks per worker id (-1 = run inline in the
+    #: manager after crash recovery).  Under an adaptive planner the
+    #: unit of work is a single trial, otherwise a whole cell.
+    worker_cells: Dict[int, int] = dataclasses.field(default_factory=dict)
 
     @property
     def cache_misses(self) -> int:
@@ -312,7 +325,14 @@ class SweepStats:
                 f"({self.trials} trials)")
         if self.analytic:
             line += f", {self.analytic} analytic"
-        line += f", {self.cache_hits} cache hits (jobs={self.jobs})"
+        line += f", {self.cache_hits} cache hits"
+        if self.worker_cells:
+            spread = " ".join(
+                (f"w{w}:{c}" if w >= 0 else f"inline:{c}")
+                for w, c in sorted(self.worker_cells.items()))
+            line += (f", {self.warm_hits} warm, {self.stolen_cells} "
+                     f"stolen [{spread}]")
+        line += f" (jobs={self.jobs})"
         return line
 
 
@@ -349,37 +369,66 @@ def _run_des_cell(config: PtpBenchmarkConfig, planner=None) -> PtpResult:
     return run_ptp_benchmark(config)
 
 
-def _execute_cell(config: PtpBenchmarkConfig, planner=None) -> Dict:
-    """Worker entry point: run one cell, ship raw timelines + digest back.
+def _run_pooled(pool: WorkerPool,
+                pending: List[Tuple[int, PtpBenchmarkConfig]],
+                results: Dict[int, PtpResult],
+                stats: SweepStats,
+                planner=None) -> None:
+    """Stream the pending cells through a :class:`WorkerPool` session.
 
-    Only the sample timelines, the event-stream digest, and the trial
-    count cross the process boundary; the parent recomputes the derived
-    metrics from the timelines, exactly as a deserializing load does, so
-    parallel results match serial ones bit for bit — and the shipped
-    digest proves the worker's event stream was identical too.
+    Plain (or deterministic) cells are whole-cell tasks keyed
+    ``(cell, -1)``.  Under a planner, each nondeterministic cell is
+    decomposed into per-trial tasks keyed ``(cell, trial)``; follow-up
+    batches are submitted the moment a cell's scheduled trials have all
+    streamed back, using the planner's own
+    :meth:`~repro.metrics.AdaptiveTrialPlanner.plan_next` — the same
+    decision procedure, fed the same trial-ordered results, as the
+    serial path, so trial counts and merged digests are bit-identical
+    while one cell's refinement overlaps every other cell's work.
     """
-    result = _run_des_cell(config, planner)
-    shipped = {
-        "samples": [sample_to_dict(s) for s in result.samples],
-        "event_digest": result.event_digest,
-        "trials": result.trials,
-    }
-    if result.fault_outcome is not None:
-        shipped["fault_outcome"] = result.fault_outcome.to_dict()
-    return shipped
+    session = pool.session()
+    configs = dict(pending)
+    trial_results: Dict[int, Dict[int, PtpResult]] = {}
+    scheduled: Dict[int, int] = {}
 
+    def submit_trials(i: int, config: PtpBenchmarkConfig,
+                      count: int) -> None:
+        start = scheduled.get(i, 0)
+        for t in range(start, start + count):
+            session.submit((i, t), planner.trial_config(config, t))
+        scheduled[i] = start + count
 
-def _result_from_shipped(config: PtpBenchmarkConfig,
-                         shipped: Dict) -> PtpResult:
-    result = PtpResult(config=config,
-                       event_digest=shipped.get("event_digest"),
-                       trials=shipped.get("trials", 1))
-    outcome = shipped.get("fault_outcome")
-    if outcome is not None:
-        result.fault_outcome = FaultOutcome.from_dict(outcome)
-    for s in shipped["samples"]:
-        result.samples.append(sample_from_dict(s))
-    return result
+    for i, config in pending:
+        if planner is not None and not config.is_deterministic:
+            trial_results[i] = {}
+            submit_trials(i, config, planner.plan_next(config, []))
+        else:
+            session.submit((i, -1), config)
+
+    for (i, t), shipped in session.results():
+        config = configs[i]
+        if t < 0:
+            results[i] = result_from_shipped(config, shipped)
+            continue
+        done = trial_results[i]
+        done[t] = result_from_shipped(planner.trial_config(config, t),
+                                      shipped)
+        if len(done) < scheduled[i]:
+            continue
+        ordered = [done[trial] for trial in range(len(done))]
+        more = planner.plan_next(config, ordered)
+        if more:
+            submit_trials(i, config, more)
+        else:
+            results[i] = planner.merge_trials(config, ordered)
+
+    run = session.stats
+    pool.stats.absorb(run)
+    stats.warm_hits += run.warm_tasks
+    stats.stolen_cells += run.stolen_tasks
+    for worker_id, count in run.worker_tasks.items():
+        stats.worker_cells[worker_id] = \
+            stats.worker_cells.get(worker_id, 0) + count
 
 
 #: ``analytic`` dispatch modes accepted by :func:`run_cells`.
@@ -392,6 +441,7 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
               progress: Optional[Callable[[PtpBenchmarkConfig], None]] = None,
               analytic: str = "off",
               planner=None,
+              pool: Optional[WorkerPool] = None,
               ) -> Tuple[List[PtpResult], SweepStats]:
     """Produce one result per cell, in order; the engine behind sweeps.
 
@@ -421,7 +471,15 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
         An :class:`~repro.metrics.AdaptiveTrialPlanner`; nondeterministic
         DES cells then run trials until their CI target is met.  Planned
         results are cached under a planner-salted fingerprint so they
-        never alias fixed-trial entries.
+        never alias fixed-trial entries.  On a pool, each trial is its
+        own task, so one cell's refinement overlaps other cells.
+    pool:
+        A live :class:`~repro.core.pool.WorkerPool` to execute on — its
+        warm workers are reused and left running (the CLI's ``--pool
+        keep`` mode, and the sweep-service execution path).  ``None``
+        spawns a transient pool sized ``min(jobs, pending cells)`` when
+        ``jobs > 1`` needs one, and shuts it down afterwards.  Results
+        are bit-identical in every mode.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -471,17 +529,19 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
     stats.cache_hits = len(cells) - len(pending) - stats.analytic
 
     if pending:
-        if jobs == 1 or len(pending) == 1:
+        if pool is None and (jobs == 1 or len(pending) == 1):
             for i, config in pending:
                 results[i] = _run_des_cell(config, planner)
+        elif pool is not None:
+            _run_pooled(pool, pending, results, stats, planner)
         else:
-            workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                shipped = pool.map(
-                    functools.partial(_execute_cell, planner=planner),
-                    [config for _, config in pending])
-                for (i, config), payload in zip(pending, shipped):
-                    results[i] = _result_from_shipped(config, payload)
+            # Transient pool, clamped to the work: ``--jobs 64`` on a
+            # 4-cell grid spawns 4 workers, not 64.
+            transient = WorkerPool(min(jobs, len(pending)))
+            try:
+                _run_pooled(transient, pending, results, stats, planner)
+            finally:
+                transient.shutdown()
         for i, config in pending:
             stats.trials += results[i].trials
             if cache is not None:

@@ -1,0 +1,568 @@
+"""The persistent worker pool: boot-once processes behind every sweep.
+
+Before this subsystem existed, every ``--jobs N`` sweep paid a
+``ProcessPoolExecutor`` spawn plus a full interpreter boot per sweep —
+imports, interned event-kind tables, machine/topology model construction
+— which dominates wall time now that the analytic fast path answers a
+deterministic paper grid in tens of milliseconds.  Hunold &
+Carpen-Amarie ("MPI Benchmarking Revisited") catalogue exactly this
+failure mode in MPI micro-benchmarks: fixed per-experiment overhead that
+swamps the quantity under study.
+
+:class:`WorkerPool` is the manager half of a manager/worker architecture
+(the shape of nengo-mpi's ``mpi_wake_workers``/``mpi_worker_start``
+loop): long-lived worker processes that boot **once** and stay warm —
+module imports, the process-wide interned :data:`repro.obs.SCHEMA`, and
+every memoized machine/network model survive from sweep to sweep.  The
+manager keeps one logical task deque per worker, hands out one task at a
+time, and lets an idle worker *steal* from the most loaded peer, so a
+skewed grid (one faulty or high-iteration cell among cheap ones) cannot
+serialize the sweep behind a single worker.  Results stream back to the
+manager incrementally — each cell's raw sample timelines plus its
+SHA-256 event digest the moment the worker finishes it — instead of
+arriving as one end-of-sweep batch.
+
+Determinism is untouched by any of this: a task is a fully resolved,
+self-seeded :class:`~repro.core.config.PtpBenchmarkConfig`, so *which*
+worker runs it, in *what* order, after *how many* steals, cannot change
+a bit of its result.  The golden-digest and parallel-equivalence suites
+enforce serial == ``--jobs N`` == reused-warm-pool, digest for digest.
+
+Crash handling degrades structurally instead of hanging: a dead worker's
+queued tasks are redistributed, its in-flight task is retried once on a
+surviving worker, and a task that keeps killing workers (or a pool with
+no survivors) runs inline in the manager, where an error surfaces as an
+ordinary exception.
+
+Everything the pool does is observable through ``pool.*`` typed kinds on
+the pool's own :class:`~repro.obs.EventBus` (worker boots, dispatches,
+steals, crashes, drains) — manager-side lifecycle telemetry, stamped
+with host-monotonic seconds, deliberately outside the simulated event
+streams that result digests seal.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError, ReproError
+from ..faults import FaultOutcome
+from ..obs import EventBus
+from ..obs.kinds import (POOL_DISPATCH, POOL_DRAIN, POOL_RESULT, POOL_STEAL,
+                         POOL_WORKER_BOOT, POOL_WORKER_CRASH)
+from .config import PtpBenchmarkConfig
+from .persistence import sample_from_dict, sample_to_dict
+from .runner import PtpResult, run_ptp_benchmark
+
+__all__ = ["PoolRunStats", "PoolTaskError", "WorkerPool", "shared_pool",
+           "shutdown_shared_pool", "result_from_shipped", "ship_result"]
+
+#: How long the manager blocks on the result queue before polling worker
+#: liveness.  Purely a crash-detection latency bound; correctness does
+#: not depend on it.
+_POLL_SECONDS = 0.2
+
+#: A task whose worker died this many times is run inline in the manager
+#: instead of being redispatched (a poisoned cell must not assassinate
+#: the whole pool one worker at a time).
+_MAX_TASK_CRASHES = 2
+
+
+class PoolTaskError(ReproError):
+    """A task raised inside a worker process.
+
+    Carries the worker-side traceback text; the original exception
+    object does not cross the process boundary.
+    """
+
+
+# ---------------------------------------------------------------------------
+# The wire format: what a worker ships back per task
+# ---------------------------------------------------------------------------
+
+def ship_result(result: PtpResult) -> Dict:
+    """Reduce a result to the dict a worker streams to the manager.
+
+    Only the sample timelines, the event-stream digest, the trial count,
+    and any fault outcome cross the process boundary; the manager
+    recomputes derived metrics from the timelines exactly as a
+    deserializing load does, so pooled results match serial ones bit for
+    bit — and the shipped digest proves the worker's event stream was
+    identical too.
+    """
+    shipped = {
+        "samples": [sample_to_dict(s) for s in result.samples],
+        "event_digest": result.event_digest,
+        "trials": result.trials,
+    }
+    if result.fault_outcome is not None:
+        shipped["fault_outcome"] = result.fault_outcome.to_dict()
+    return shipped
+
+
+def result_from_shipped(config: PtpBenchmarkConfig,
+                        shipped: Dict) -> PtpResult:
+    """Rebuild a :class:`PtpResult` from a worker's shipped dict."""
+    result = PtpResult(config=config,
+                       event_digest=shipped.get("event_digest"),
+                       trials=shipped.get("trials", 1))
+    outcome = shipped.get("fault_outcome")
+    if outcome is not None:
+        result.fault_outcome = FaultOutcome.from_dict(outcome)
+    for s in shipped["samples"]:
+        result.samples.append(sample_from_dict(s))
+    return result
+
+
+def _execute_shipped(config: PtpBenchmarkConfig) -> Dict:
+    """Run one config (in whichever process) and ship its result."""
+    return ship_result(run_ptp_benchmark(config))
+
+
+def _worker_main(worker_id: int, tasks, results) -> None:
+    """The worker loop: boot once, then run tasks until the stop sentinel.
+
+    Booting means everything this module's imports pulled in — the DES
+    kernel, the MPI runtime, the interned event-kind tables, the machine
+    and network presets — is resident and warm for every task that
+    follows.  Each message is ``(epoch, task_id, config)``; the reply is
+    ``("result", worker_id, epoch, task_id, shipped)`` or an ``"error"``
+    tuple carrying the formatted traceback.
+    """
+    results.put(("boot", worker_id, os.getpid()))
+    while True:
+        message = tasks.get()
+        if message is None:
+            return
+        epoch, task_id, config = message
+        try:
+            shipped = _execute_shipped(config)
+        except Exception as exc:  # ships the traceback, never kills the loop
+            results.put(("error", worker_id, epoch, task_id,
+                         f"{type(exc).__name__}: {exc}",
+                         traceback.format_exc()))
+        else:
+            results.put(("result", worker_id, epoch, task_id, shipped))
+
+
+# ---------------------------------------------------------------------------
+# Manager-side bookkeeping
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PoolRunStats:
+    """How one pool run (or a pool's lifetime) executed its tasks."""
+
+    #: Tasks completed (including inline recoveries).
+    tasks: int = 0
+    #: Tasks executed by a worker that was already booted before the run
+    #: started — the warm-pool payoff a cold spawn never sees.
+    warm_tasks: int = 0
+    #: Tasks a worker stole from a peer's queue instead of draining its
+    #: own (nonzero under skewed grids).
+    stolen_tasks: int = 0
+    #: Workers booted during this run.
+    booted_workers: int = 0
+    #: Worker processes that died mid-run.
+    crashed_workers: int = 0
+    #: Tasks the manager ran inline (no live workers, or a task that
+    #: kept crashing its workers).
+    inline_tasks: int = 0
+    #: Completed tasks per worker id.
+    worker_tasks: Dict[int, int] = field(default_factory=dict)
+
+    def absorb(self, other: "PoolRunStats") -> None:
+        """Accumulate another run's counters (pool-lifetime totals)."""
+        self.tasks += other.tasks
+        self.warm_tasks += other.warm_tasks
+        self.stolen_tasks += other.stolen_tasks
+        self.booted_workers += other.booted_workers
+        self.crashed_workers += other.crashed_workers
+        self.inline_tasks += other.inline_tasks
+        for worker_id, count in other.worker_tasks.items():
+            self.worker_tasks[worker_id] = \
+                self.worker_tasks.get(worker_id, 0) + count
+
+
+class _Worker:
+    """Manager-side handle for one worker process."""
+
+    __slots__ = ("id", "process", "tasks", "queue", "booted", "busy",
+                 "current", "spawned_at")
+
+    def __init__(self, worker_id: int, process, tasks) -> None:
+        self.id = worker_id
+        self.process = process
+        self.tasks = tasks          # the worker's inbound task queue
+        self.queue: deque = deque()  # manager-side backlog of (id, cfg)
+        self.booted = False
+        self.busy = False
+        self.current: Optional[int] = None  # in-flight task id
+        # Host clock, on purpose: pool lifecycle telemetry is
+        # manager-side wall time, never simulated time.
+        self.spawned_at = time.monotonic()  # simlint: disable=SIM101
+
+    @property
+    def load(self) -> int:
+        """Queued plus in-flight tasks (the submit-placement key)."""
+        return len(self.queue) + (1 if self.busy else 0)
+
+
+class _PoolSession:
+    """One streaming run over a :class:`WorkerPool` (single-flight).
+
+    ``submit()`` may be called while ``results()`` is being consumed —
+    that is how the adaptive planner schedules follow-up trial batches
+    as earlier ones stream in.
+    """
+
+    def __init__(self, pool: "WorkerPool") -> None:
+        self._pool = pool
+        self.stats = PoolRunStats()
+        #: Workers that were live before this run began: tasks they
+        #: complete are "warm" executions.
+        self._warm_ids = set(pool._workers)
+        self._payloads: Dict[int, PtpBenchmarkConfig] = {}
+        self._keys: Dict[int, object] = {}
+        self._crashes: Dict[int, int] = {}
+        self._done: set = set()
+        self._inline: deque = deque()  # (task_id, shipped) run by manager
+        self._ids = itertools.count()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, key, config: PtpBenchmarkConfig) -> None:
+        """Enqueue one task; results stream back under ``key``."""
+        task_id = next(self._ids)
+        self._keys[task_id] = key
+        self._payloads[task_id] = config
+        pool = self._pool
+        worker = pool._place(self)
+        if worker is None:
+            # No workers could be (re)started at all: degrade inline.
+            self._run_inline(task_id)
+            return
+        if worker.busy:
+            worker.queue.append(task_id)
+        else:
+            pool._dispatch(worker, task_id, self)
+
+    def _run_inline(self, task_id: int) -> None:
+        self._inline.append((task_id, _execute_shipped(
+            self._payloads[task_id])))
+        self.stats.inline_tasks += 1
+
+    # -- the streaming consumer -------------------------------------------
+
+    def outstanding(self) -> int:
+        """Tasks submitted whose results have not been yielded yet."""
+        return len(self._payloads) - len(self._done) - len(self._inline)
+
+    def results(self) -> Iterator[Tuple[object, Dict]]:
+        """Yield ``(key, shipped)`` as tasks complete, until drained.
+
+        Completion order follows execution, not submission; callers that
+        need submission order reassemble by key.  Worker crashes are
+        absorbed here (requeue, retry, inline fallback); a task that
+        *raised* inside a worker re-raises as :class:`PoolTaskError`.
+        """
+        pool = self._pool
+        while self._inline or self.outstanding():
+            if self._inline:
+                task_id, shipped = self._inline.popleft()
+                yield self._finish(task_id, -1, shipped)
+                continue
+            message = self._next_message()
+            kind = message[0]
+            if kind == "boot":
+                pool._mark_booted(message[1], message[2], self)
+                continue
+            _, worker_id, epoch, task_id = message[:4]
+            worker = pool._workers.get(worker_id)
+            if worker is not None and worker.current == task_id and \
+                    epoch == pool._epoch:
+                worker.busy = False
+                worker.current = None
+                pool._refill(worker, self)
+            if epoch != pool._epoch or task_id in self._done:
+                continue  # stale epoch, or a crash-retry duplicate
+            if kind == "error":
+                raise PoolTaskError(
+                    f"task {self._keys[task_id]!r} failed in pool worker "
+                    f"{worker_id}: {message[4]}\n{message[5]}")
+            yield self._finish(task_id, worker_id, shipped=message[4])
+        pool.obs.emit(POOL_DRAIN, pool._now(), self.stats.tasks,
+                      self.stats.stolen_tasks, self.stats.crashed_workers)
+
+    def _finish(self, task_id: int, worker_id: int,
+                shipped: Dict) -> Tuple[object, Dict]:
+        self._done.add(task_id)
+        self.stats.tasks += 1
+        self.stats.worker_tasks[worker_id] = \
+            self.stats.worker_tasks.get(worker_id, 0) + 1
+        if worker_id in self._warm_ids:
+            self.stats.warm_tasks += 1
+        pool = self._pool
+        pool.obs.emit(POOL_RESULT, pool._now(), worker_id, task_id)
+        return self._keys[task_id], shipped
+
+    def _next_message(self):
+        pool = self._pool
+        while True:
+            try:
+                return pool._results.get(timeout=_POLL_SECONDS)
+            except Empty:
+                self._reap_crashes()
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _reap_crashes(self) -> None:
+        pool = self._pool
+        dead = [w for w in pool._workers.values()
+                if not w.process.is_alive()]
+        for worker in dead:
+            crashed_task = worker.current if worker.busy else None
+            pool.obs.emit(POOL_WORKER_CRASH, pool._now(), worker.id,
+                          -1 if crashed_task is None else crashed_task)
+            self.stats.crashed_workers += 1
+            orphans = list(worker.queue)
+            del pool._workers[worker.id]
+            if crashed_task is not None and crashed_task not in self._done:
+                self._crashes[crashed_task] = \
+                    self._crashes.get(crashed_task, 0) + 1
+                if self._crashes[crashed_task] >= _MAX_TASK_CRASHES:
+                    self._run_inline(crashed_task)
+                else:
+                    orphans.insert(0, crashed_task)
+            self._requeue(orphans)
+
+    def _requeue(self, task_ids: List[int]) -> None:
+        """Hand a dead worker's backlog to survivors (or run it inline)."""
+        pool = self._pool
+        for task_id in task_ids:
+            if task_id in self._done:
+                continue
+            worker = pool._place(self)
+            if worker is None:
+                self._run_inline(task_id)
+            elif worker.busy:
+                worker.queue.append(task_id)
+            else:
+                pool._dispatch(worker, task_id, self)
+
+
+class WorkerPool:
+    """A long-lived pool of warm worker processes for sweep cells.
+
+    ``workers`` is the *ceiling*: processes are spawned lazily, one per
+    concurrently outstanding task, so a 64-worker pool asked to run a
+    4-cell grid starts exactly 4 processes.  The pool survives across
+    runs — that is the point: the second sweep on the same pool pays
+    zero spawn or import cost (its cells count as ``warm_tasks``).
+
+    Use :meth:`run` for a plain "one result per config" mapping or
+    :meth:`session` for streaming/dynamic workloads, and
+    :meth:`shutdown` (or process exit — workers are daemons) to stop it.
+    Results are bit-identical to inline execution by construction; see
+    the module docstring.
+    """
+
+    def __init__(self, workers: int,
+                 mp_context: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"pool workers must be >= 1: {workers}")
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self.max_workers = workers
+        #: Manager-side lifecycle events (``pool.*`` kinds) are emitted
+        #: here; attach sinks to observe boots, steals, and drains.
+        self.obs = EventBus()
+        #: Lifetime totals across every run of this pool.
+        self.stats = PoolRunStats()
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._results = self._ctx.Queue()
+        self._workers: Dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._epoch = 0
+        self._t0 = time.monotonic()  # simlint: disable=SIM101
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0  # simlint: disable=SIM101
+
+    @property
+    def started_workers(self) -> int:
+        """Worker processes currently live (spawned and not crashed)."""
+        return len(self._workers)
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, session: _PoolSession) -> Optional[_Worker]:
+        if len(self._workers) >= self.max_workers or self._closed:
+            return None
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        tasks = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=_worker_main, args=(worker_id, tasks, self._results),
+            name=f"repro-pool-w{worker_id}", daemon=True)
+        worker = _Worker(worker_id, process, tasks)
+        process.start()
+        self._workers[worker_id] = worker
+        session.stats.booted_workers += 1
+        return worker
+
+    def _mark_booted(self, worker_id: int, pid: int,
+                     session: _PoolSession) -> None:
+        worker = self._workers.get(worker_id)
+        if worker is None or worker.booted:
+            return
+        worker.booted = True
+        self.obs.emit(POOL_WORKER_BOOT, self._now(), worker_id, pid,
+                      time.monotonic()  # simlint: disable=SIM101
+                      - worker.spawned_at)
+
+    def _place(self, session: _PoolSession) -> Optional[_Worker]:
+        """The worker a fresh task should land on (spawning if useful)."""
+        idle = [w for w in self._workers.values() if not w.busy
+                and not w.queue]
+        if idle:
+            return min(idle, key=lambda w: w.id)
+        spawned = self._spawn(session)
+        if spawned is not None:
+            return spawned
+        if not self._workers:
+            return None
+        return min(self._workers.values(), key=lambda w: (w.load, w.id))
+
+    # -- dispatch and stealing --------------------------------------------
+
+    def _dispatch(self, worker: _Worker, task_id: int,
+                  session: _PoolSession, stolen_from: int = -1) -> None:
+        worker.busy = True
+        worker.current = task_id
+        worker.tasks.put((self._epoch, task_id,
+                          session._payloads[task_id]))
+        if stolen_from >= 0:
+            session.stats.stolen_tasks += 1
+            self.obs.emit(POOL_STEAL, self._now(), worker.id, stolen_from,
+                          task_id)
+        self.obs.emit(POOL_DISPATCH, self._now(), worker.id, task_id)
+
+    def _refill(self, worker: _Worker, session: _PoolSession) -> None:
+        """Give a now-free worker its next task: own queue, else steal."""
+        if worker.queue:
+            self._dispatch(worker, worker.queue.popleft(), session)
+            return
+        victims = [w for w in self._workers.values() if w.queue]
+        if not victims:
+            return
+        victim = max(victims, key=lambda w: (len(w.queue), -w.id))
+        self._dispatch(worker, victim.queue.popleft(), session,
+                       stolen_from=victim.id)
+
+    # -- public execution API ----------------------------------------------
+
+    def session(self) -> _PoolSession:
+        """Start a streaming run (submit tasks, then consume results).
+
+        Opening a session advances the pool's epoch: any result still in
+        flight from an abandoned earlier run is recognized as stale and
+        dropped rather than misdelivered.
+        """
+        if self._closed:
+            raise ConfigurationError("worker pool is shut down")
+        self._epoch += 1
+        return _PoolSession(self)
+
+    def run(self, configs: Iterable[PtpBenchmarkConfig],
+            keys: Optional[Iterable[object]] = None,
+            ) -> Iterator[Tuple[object, Dict]]:
+        """Stream ``(key, shipped_result)`` for each config as it finishes.
+
+        ``keys`` defaults to the configs' positions.  The pool-lifetime
+        :attr:`stats` absorb the run's counters when the stream drains.
+        """
+        session = self.session()
+        configs = list(configs)
+        key_list = list(keys) if keys is not None else list(
+            range(len(configs)))
+        if len(key_list) != len(configs):
+            raise ConfigurationError(
+                f"run() got {len(configs)} configs but {len(key_list)} keys")
+        for key, config in zip(key_list, configs):
+            session.submit(key, config)
+        try:
+            for item in session.results():
+                yield item
+        finally:
+            self.stats.absorb(session.stats)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(self, join_seconds: float = 2.0) -> None:
+        """Stop every worker (idempotent): sentinel, join, then terminate."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            try:
+                worker.tasks.put(None)
+            except (OSError, ValueError):  # queue already broken/closed
+                pass
+        for worker in self._workers.values():
+            worker.process.join(timeout=join_seconds)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=join_seconds)
+        self._workers.clear()
+        self._results.close()
+        self._results.cancel_join_thread()
+
+
+# ---------------------------------------------------------------------------
+# The process-wide shared pool (the CLI's --pool keep mode)
+# ---------------------------------------------------------------------------
+
+_SHARED: Optional[WorkerPool] = None
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """The process-wide warm pool, created (or grown) on first use.
+
+    Repeated calls return the same pool so consecutive sweeps reuse warm
+    workers; asking for more ``workers`` raises the ceiling (processes
+    still spawn lazily).  The pool is shut down automatically at
+    interpreter exit; call :func:`shutdown_shared_pool` to do it sooner.
+    """
+    global _SHARED
+    if workers < 1:
+        raise ConfigurationError(f"pool workers must be >= 1: {workers}")
+    if _SHARED is None or _SHARED._closed:
+        _SHARED = WorkerPool(workers)
+    elif workers > _SHARED.max_workers:
+        _SHARED.max_workers = workers
+    return _SHARED
+
+
+def shutdown_shared_pool() -> None:
+    """Stop the shared pool's workers (no-op when none exists)."""
+    global _SHARED
+    if _SHARED is not None:
+        _SHARED.shutdown()
+        _SHARED = None
+
+
+atexit.register(shutdown_shared_pool)

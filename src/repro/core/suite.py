@@ -7,10 +7,12 @@ results keyed the way the figure is panelled, and the ``benchmarks/``
 harness prints them with :func:`repro.core.report.metric_table`.
 
 Every driver takes ``quick`` — a reduced grid for CI-speed runs — and
-accepts config overrides for ablations.  ``jobs`` and ``cache`` are handed
-straight to :func:`~repro.core.sweep.sweep_ptp`, so any figure can fan its
-grid out over worker processes and reuse cached cells (see
-:mod:`repro.core.parallel`); results are bit-identical either way.
+accepts config overrides for ablations.  ``jobs``, ``cache``, and
+``pool`` are handed straight to :func:`~repro.core.sweep.sweep_ptp`, so
+any figure can fan its grid out over worker processes — including a kept
+warm :class:`~repro.core.pool.WorkerPool` shared across figures — and
+reuse cached cells (see :mod:`repro.core.parallel`); results are
+bit-identical either way.
 """
 
 from __future__ import annotations
@@ -47,7 +49,7 @@ def fig4_overhead(quick: bool = True,
                   sizes: Optional[Sequence[int]] = None,
                   counts: Optional[Sequence[int]] = None,
                   jobs: int = 1, cache=None,
-                  analytic: str = "off", planner=None,
+                  analytic: str = "off", planner=None, pool=None,
                   **overrides) -> Dict[str, SweepResult]:
     """Figure 4: overhead vs message size, hot and cold cache, no noise,
     10 ms compute.  Returns ``{"hot": sweep, "cold": sweep}``."""
@@ -60,7 +62,8 @@ def fig4_overhead(quick: bool = True,
             iterations=3 if quick else 7, **overrides)
         out[cache_mode] = sweep_ptp(base, sizes, counts,
                                     jobs=jobs, cache=cache,
-                                    analytic=analytic, planner=planner)
+                                    analytic=analytic, planner=planner,
+                                    pool=pool)
     return out
 
 
@@ -68,7 +71,7 @@ def fig5_perceived_bandwidth(quick: bool = True,
                              sizes: Optional[Sequence[int]] = None,
                              counts: Optional[Sequence[int]] = None,
                              jobs: int = 1, cache=None,
-                             analytic: str = "off", planner=None,
+                             analytic: str = "off", planner=None, pool=None,
                              **overrides
                              ) -> Dict[Tuple[float, float], SweepResult]:
     """Figure 5: perceived bandwidth under uniform noise, hot cache.
@@ -89,7 +92,8 @@ def fig5_perceived_bandwidth(quick: bool = True,
             iterations=3 if quick else 7, **overrides)
         out[(pct, comp)] = sweep_ptp(base, sizes, counts,
                                      jobs=jobs, cache=cache,
-                                     analytic=analytic, planner=planner)
+                                     analytic=analytic, planner=planner,
+                                    pool=pool)
     return out
 
 
@@ -98,7 +102,7 @@ def fig6_availability(quick: bool = True,
                       counts: Optional[Sequence[int]] = None,
                       noise_percent: float = 4.0,
                       jobs: int = 1, cache=None,
-                      analytic: str = "off", planner=None,
+                      analytic: str = "off", planner=None, pool=None,
                       **overrides) -> Dict[float, SweepResult]:
     """Figure 6: application availability, single-thread delay model,
     4% noise, hot cache; panels keyed by compute seconds (10 ms, 100 ms)."""
@@ -112,7 +116,8 @@ def fig6_availability(quick: bool = True,
             iterations=3 if quick else 9, **overrides)
         out[comp] = sweep_ptp(base, sizes, counts,
                               jobs=jobs, cache=cache,
-                              analytic=analytic, planner=planner)
+                              analytic=analytic, planner=planner,
+                                    pool=pool)
     return out
 
 
@@ -121,7 +126,7 @@ def fig7_noise_models(quick: bool = True,
                       partitions: int = 16,
                       noise_percent: float = 4.0,
                       jobs: int = 1, cache=None,
-                      analytic: str = "off", planner=None,
+                      analytic: str = "off", planner=None, pool=None,
                       **overrides) -> Dict[float, Dict[str, SweepResult]]:
     """Figure 7: availability per noise model at 16 partitions, 4% noise.
 
@@ -144,7 +149,8 @@ def fig7_noise_models(quick: bool = True,
                 iterations=3 if quick else 9, **overrides)
             panel[name] = sweep_ptp(base, sizes, [partitions],
                                     jobs=jobs, cache=cache,
-                                    analytic=analytic, planner=planner)
+                                    analytic=analytic, planner=planner,
+                                    pool=pool)
         out[comp] = panel
     return out
 
@@ -154,7 +160,7 @@ def fig8_early_bird(quick: bool = True,
                     counts: Optional[Sequence[int]] = None,
                     noise_percent: float = 4.0,
                     jobs: int = 1, cache=None,
-                    analytic: str = "off", planner=None,
+                    analytic: str = "off", planner=None, pool=None,
                     **overrides) -> Dict[float, SweepResult]:
     """Figure 8: % early-bird communication under uniform noise; panels
     keyed by compute seconds (10 ms, 100 ms).
@@ -172,5 +178,6 @@ def fig8_early_bird(quick: bool = True,
             iterations=3 if quick else 9, **overrides)
         out[comp] = sweep_ptp(base, sizes, counts,
                               jobs=jobs, cache=cache,
-                              analytic=analytic, planner=planner)
+                              analytic=analytic, planner=planner,
+                                    pool=pool)
     return out

@@ -140,6 +140,7 @@ def sweep_ptp(base: PtpBenchmarkConfig,
               derive_seeds: bool = True,
               analytic: str = "off",
               planner=None,
+              pool=None,
               ) -> SweepResult:
     """Run the grid ``message_sizes`` × ``partition_counts`` from ``base``.
 
@@ -155,15 +156,16 @@ def sweep_ptp(base: PtpBenchmarkConfig,
     cell's noise stream is seeded from the base seed and the cell
     coordinates, decorrelating cells; pass ``False`` to reuse ``base.seed``
     everywhere.  ``analytic``/``planner`` select the closed-form fast
-    path and CI-targeted trial allocation — see
-    :func:`~repro.core.parallel.run_cells`.
+    path and CI-targeted trial allocation, and ``pool`` executes on a
+    live :class:`~repro.core.pool.WorkerPool` whose warm workers are
+    reused across sweeps — see :func:`~repro.core.parallel.run_cells`.
     """
     from .parallel import plan_cells, run_cells
     cells = plan_cells(base, message_sizes, partition_counts,
                        derive_seeds=derive_seeds)
     results, stats = run_cells(cells, jobs=jobs, cache=cache,
                                progress=progress, analytic=analytic,
-                               planner=planner)
+                               planner=planner, pool=pool)
     sweep = SweepResult(stats=stats)
     for config, result in zip(cells, results):
         sweep.add(SweepPoint(config=config, result=result))

@@ -113,44 +113,88 @@ class AdaptiveTrialPlanner:
             return halfwidth == 0.0
         return halfwidth <= self.ci_target * abs(mean)
 
-    def run_cell(self, config: "PtpBenchmarkConfig") -> "PtpResult":
-        """All trials of one cell, merged into a single ``PtpResult``.
+    def trial_config(self, config: "PtpBenchmarkConfig",
+                     trial: int) -> "PtpBenchmarkConfig":
+        """The reseeded configuration trial ``trial`` of a cell runs.
+
+        Trial 0 is the configuration itself (a planned run is a strict
+        superset of the unplanned one); later trials derive decorrelated
+        seeds through
+        :func:`~repro.core.parallel.derive_cell_seed`.
+        """
+        if trial == 0:
+            return config
+        # Imported here: core.runner imports repro.metrics at module
+        # scope, so a top-level import would be circular.
+        from ..core.parallel import derive_cell_seed
+        return config.with_overrides(
+            seed=derive_cell_seed(config.seed, config.message_bytes,
+                                  config.partitions, trial=trial))
+
+    def plan_next(self, config: "PtpBenchmarkConfig",
+                  results: List["PtpResult"]) -> int:
+        """How many more trials to run, given the completed ones.
+
+        ``results`` must hold the cell's completed trials in trial order.
+        Returns 0 when the cell is done (CI converged, ``max_trials``
+        reached, or a deterministic cell that already ran its single
+        trial).  This is the *whole* decision procedure — the serial
+        :meth:`run_cell` loop and the worker-pool manager both call it,
+        so batching decisions (and therefore merged digests) cannot
+        diverge between execution modes.
+        """
+        n = len(results)
+        if config.is_deterministic:
+            # Every repetition would be bit-identical; one trial says it
+            # all.
+            return 0 if n else 1
+        if n < self.min_trials:
+            return self.min_trials - n
+        if n >= self.max_trials:
+            return 0
+        values = [[getattr(s.metrics, name)
+                   for r in results for s in r.samples]
+                  for name in self.metrics]
+        # A faulty cell can abandon every iteration; empty sample sets
+        # carry no information, so keep sampling to the cap.
+        if all(v and self._converged(v) for v in values):
+            return 0
+        return min(self.batch, self.max_trials - n)
+
+    def merge_trials(self, config: "PtpBenchmarkConfig",
+                     results: List["PtpResult"]) -> "PtpResult":
+        """Merge a cell's completed trials (in trial order) into one result.
 
         Samples from successive trials are concatenated and renumbered;
         the merged event digest hashes the per-trial digests in order,
-        so it still proves "same trials, same events, same order".  A
+        so it still proves "same trials, same events, same order".
+        """
+        return _merge_trials(config, results)
+
+    def run_cell(self, config: "PtpBenchmarkConfig") -> "PtpResult":
+        """All trials of one cell, merged into a single ``PtpResult``.
+
+        The serial driver around :meth:`plan_next` /
+        :meth:`trial_config` / :meth:`merge_trials`; the worker-pool
+        manager runs the same three calls with the trials farmed out as
+        pool tasks, which is why the two paths are bit-identical.  A
         deterministic configuration short-circuits to one plain trial.
         """
         # Imported here: core.runner imports repro.metrics at module
         # scope, so a top-level import would be circular.
-        from ..core.parallel import derive_cell_seed
         from ..core.runner import run_ptp_benchmark
 
         if config.is_deterministic:
             return run_ptp_benchmark(config)
 
-        results = []
-
-        def run_more(count: int) -> None:
-            for _ in range(count):
-                t = len(results)
-                cfg = config if t == 0 else config.with_overrides(
-                    seed=derive_cell_seed(config.seed, config.message_bytes,
-                                          config.partitions, trial=t))
-                results.append(run_ptp_benchmark(cfg))
-
-        def metric_values(name: str) -> List[float]:
-            return [getattr(s.metrics, name)
-                    for r in results for s in r.samples]
-
-        run_more(self.min_trials)
-        while len(results) < self.max_trials:
-            values = [metric_values(name) for name in self.metrics]
-            # A faulty cell can abandon every iteration; empty sample
-            # sets carry no information, so keep sampling to the cap.
-            if all(v and self._converged(v) for v in values):
+        results: List["PtpResult"] = []
+        while True:
+            count = self.plan_next(config, results)
+            if count == 0:
                 break
-            run_more(min(self.batch, self.max_trials - len(results)))
+            for _ in range(count):
+                results.append(run_ptp_benchmark(
+                    self.trial_config(config, len(results))))
 
         return _merge_trials(config, results)
 

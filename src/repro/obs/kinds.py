@@ -35,6 +35,14 @@ Categories
     The reliable transport reacting to faults: retransmissions, ACKs
     clearing pending frames, and frames abandoned after the retry
     budget.
+``pool.*``
+    Lifecycle of the persistent worker pool (:mod:`repro.core.pool`):
+    worker boots, task dispatch/completion, work stealing, crash
+    recovery, and end-of-run drains.  Unlike every other category these
+    are *manager-side* events stamped with host-monotonic seconds since
+    pool creation — they describe how a sweep was executed, never what
+    it computed, so they are excluded from result event digests by
+    construction (the per-cell digest is sealed inside the worker).
 """
 
 from __future__ import annotations
@@ -53,6 +61,8 @@ __all__ = [
     "BENCH_SEND_BEGIN", "BENCH_RECV_COMPLETE",
     "FAULT_DROP", "FAULT_STALL", "FAULT_DEGRADE", "FAULT_DUPLICATE",
     "FAULT_FAILSTOP", "RETRY_RETRANSMIT", "RETRY_ACK", "RETRY_ABANDONED",
+    "POOL_WORKER_BOOT", "POOL_DISPATCH", "POOL_RESULT", "POOL_STEAL",
+    "POOL_WORKER_CRASH", "POOL_DRAIN",
 ]
 
 # -- partitioned lifecycle (entry events; req is in-process only) ----------
@@ -192,3 +202,24 @@ RETRY_ACK = SCHEMA.register(
 RETRY_ABANDONED = SCHEMA.register(
     "retry.abandoned", ("rank", "dst", "seq", "attempts"),
     doc="retry budget exhausted; the frame is given up for lost")
+
+# -- persistent worker pool (repro.core.pool; manager-side) ----------------
+POOL_WORKER_BOOT = SCHEMA.register(
+    "pool.worker_boot", ("worker", "pid", "boot_seconds"),
+    doc="a pool worker finished booting (imports + warm tables)")
+POOL_DISPATCH = SCHEMA.register(
+    "pool.dispatch", ("worker", "task"),
+    doc="the manager handed one task to a worker")
+POOL_RESULT = SCHEMA.register(
+    "pool.result", ("worker", "task"),
+    doc="one task's streamed result reached the manager")
+POOL_STEAL = SCHEMA.register(
+    "pool.steal", ("thief", "victim", "task"),
+    doc="an idle worker stole a queued task from a loaded peer")
+POOL_WORKER_CRASH = SCHEMA.register(
+    "pool.worker_crash", ("worker", "task"),
+    doc="a worker process died; its work is requeued or run inline "
+        "(task is -1 when nothing was in flight)")
+POOL_DRAIN = SCHEMA.register(
+    "pool.drain", ("tasks", "stolen", "crashes"),
+    doc="one pool run drained: every streamed result was consumed")

@@ -216,3 +216,36 @@ class TestTraceCommands:
         code = main(["report", *_TRACE_ARGS, "--kinds", "nope"])
         assert code == 2
         assert "unknown event kind" in capsys.readouterr().err
+
+
+class TestPoolFlags:
+    def test_pool_flag_parses_with_keep_default(self):
+        parser = build_parser()
+        assert parser.parse_args(["sweep"]).pool == "keep"
+        assert parser.parse_args(
+            ["sweep", "--pool", "per-sweep"]).pool == "per-sweep"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "--pool", "sometimes"])
+
+    def test_invalid_jobs_raises_not_falls_back(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["sweep", "--sizes", "1024", "--counts", "1",
+                  "--jobs", "0"])
+
+    def test_sweep_on_kept_pool_reports_pool_counters(self, capsys):
+        from repro.core.pool import shutdown_shared_pool
+        argv = ["sweep", "--sizes", "1024,4096", "--counts", "1,2",
+                "--jobs", "2", "--iterations", "1", "--metric", "overhead"]
+        try:
+            assert main(argv) == 0
+            first = capsys.readouterr().out
+            assert main(argv + ["--pool", "per-sweep"]) == 0
+            second = capsys.readouterr().out
+        finally:
+            shutdown_shared_pool()
+        # Both modes compute the same table; the provenance line carries
+        # the pool counters either way.
+        assert first.split("sweep engine:")[0] == \
+            second.split("sweep engine:")[0]
+        assert "warm" in first and "stolen" in first

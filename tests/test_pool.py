@@ -1,0 +1,255 @@
+"""The persistent worker pool: warm reuse, stealing, crash recovery."""
+
+import pytest
+
+from repro.core import (METRIC_NAMES, PtpBenchmarkConfig, WorkerPool,
+                        plan_cells, run_cells, run_ptp_benchmark, sweep_ptp)
+from repro.core.pool import (PoolRunStats, PoolTaskError, result_from_shipped,
+                             shared_pool, ship_result, shutdown_shared_pool)
+from repro.errors import ConfigurationError
+from repro.metrics import AdaptiveTrialPlanner
+from repro.noise import UniformNoise
+
+SIZES = [1024, 65536]
+COUNTS = [1, 4]
+
+
+def _base(**overrides):
+    defaults = dict(message_bytes=64, partitions=1,
+                    compute_seconds=1e-4, iterations=2)
+    defaults.update(overrides)
+    return PtpBenchmarkConfig(**defaults)
+
+
+def _digests(results):
+    return [r.event_digest for r in results]
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(2)
+    yield p
+    p.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Validation and worker clamping
+# ---------------------------------------------------------------------------
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0)
+        with pytest.raises(ConfigurationError):
+            shared_pool(-1)
+
+    def test_lazy_spawn_clamps_to_work(self):
+        # A 64-worker pool asked to run 4 cells must start 4 processes,
+        # not 64.
+        big = WorkerPool(64)
+        try:
+            cells = plan_cells(_base(seed=2), SIZES, COUNTS)
+            results, _ = run_cells(cells, jobs=64, pool=big)
+            assert len(results) == 4
+            assert big.started_workers <= 4
+        finally:
+            big.shutdown()
+
+    def test_transient_pool_clamped_too(self):
+        cells = plan_cells(_base(seed=2), SIZES, COUNTS)
+        _, stats = run_cells(cells, jobs=64)
+        assert len(stats.worker_cells) <= len(cells)
+
+    def test_closed_pool_rejects_sessions(self, pool):
+        pool.shutdown()
+        with pytest.raises(ConfigurationError):
+            pool.session()
+
+    def test_run_key_length_mismatch_rejected(self, pool):
+        with pytest.raises(ConfigurationError):
+            list(pool.run([_base()], keys=["a", "b"]))
+
+
+# ---------------------------------------------------------------------------
+# Warm reuse: the tentpole invariant
+# ---------------------------------------------------------------------------
+
+class TestWarmReuse:
+    def test_two_warm_sweeps_byte_identical_to_two_cold_serial_runs(
+            self, pool):
+        base = _base(noise=UniformNoise(4.0), seed=11)
+        cold1 = sweep_ptp(base, SIZES, COUNTS, jobs=1)
+        cold2 = sweep_ptp(base, SIZES, COUNTS, jobs=1)
+        warm1 = sweep_ptp(base, SIZES, COUNTS, jobs=2, pool=pool)
+        warm2 = sweep_ptp(base, SIZES, COUNTS, jobs=2, pool=pool)
+        for cold, warm in ((cold1, warm1), (cold2, warm2)):
+            for metric in METRIC_NAMES:
+                assert cold.series(metric) == warm.series(metric)
+            for m in SIZES:
+                for n in COUNTS:
+                    c = cold.point(m, n).result
+                    w = warm.point(m, n).result
+                    assert c.event_digest is not None
+                    assert c.event_digest == w.event_digest
+                    assert [s.timeline for s in c.samples] == \
+                        [s.timeline for s in w.samples]
+                    assert [s.metrics for s in c.samples] == \
+                        [s.metrics for s in w.samples]
+
+    def test_second_sweep_reuses_warm_workers(self, pool):
+        cells = plan_cells(_base(seed=4), SIZES, COUNTS)
+        _, first = run_cells(cells, jobs=2, pool=pool)
+        _, second = run_cells(cells, jobs=2, pool=pool)
+        assert first.warm_hits == 0      # cold pool: every worker booted
+        assert second.warm_hits == len(cells)
+        assert pool.stats.tasks == 2 * len(cells)
+
+    def test_planner_trials_on_pool_match_serial(self, pool):
+        base = _base(noise=UniformNoise(4.0), seed=11)
+        planner = AdaptiveTrialPlanner(ci_target=1e-12, min_trials=2,
+                                       max_trials=3, batch=1)
+        cells = plan_cells(base, SIZES, COUNTS)
+        serial, s_stats = run_cells(cells, jobs=1, planner=planner)
+        pooled, p_stats = run_cells(cells, jobs=2, planner=planner,
+                                    pool=pool)
+        assert _digests(serial) == _digests(pooled)
+        assert [r.trials for r in serial] == [r.trials for r in pooled]
+        assert p_stats.trials == s_stats.trials
+        # Trial decomposition: the pool saw one task per trial, not one
+        # per cell.
+        assert sum(p_stats.worker_cells.values()) == s_stats.trials
+
+    def test_shared_pool_is_process_wide_and_grows(self):
+        shutdown_shared_pool()
+        try:
+            a = shared_pool(2)
+            assert shared_pool(2) is a
+            assert shared_pool(4) is a       # ceiling raised in place
+            assert a.max_workers == 4
+        finally:
+            shutdown_shared_pool()
+        b = shared_pool(2)
+        try:
+            assert b is not a                # fresh pool after shutdown
+        finally:
+            shutdown_shared_pool()
+
+
+# ---------------------------------------------------------------------------
+# Work stealing under a skewed grid
+# ---------------------------------------------------------------------------
+
+class TestWorkStealing:
+    def test_skewed_grid_steals_and_stays_deterministic(self, pool):
+        # One expensive cell submitted first, cheap cells behind it: the
+        # second worker drains its own queue and must steal the heavy
+        # worker's backlog instead of idling.
+        heavy = _base(message_bytes=1 << 20, partitions=32, iterations=6,
+                      noise=UniformNoise(4.0), seed=9)
+        light = [_base(message_bytes=256, partitions=1, iterations=1,
+                       noise=UniformNoise(4.0), seed=9 + i)
+                 for i in range(5)]
+        cells = [heavy] + light
+        serial, _ = run_cells(cells, jobs=1)
+        pooled, stats = run_cells(cells, jobs=2, pool=pool)
+        assert _digests(pooled) == _digests(serial)
+        assert stats.stolen_cells >= 1
+        assert pool.stats.stolen_tasks == stats.stolen_cells
+
+    def test_describe_surfaces_pool_counters(self, pool):
+        cells = plan_cells(_base(seed=6), SIZES, COUNTS)
+        _, stats = run_cells(cells, jobs=2, pool=pool)
+        line = stats.describe()
+        assert "warm" in line and "stolen" in line
+        assert "w0:" in line            # per-worker spread
+        # Serial runs keep the pre-pool provenance line.
+        _, serial_stats = run_cells(cells, jobs=1)
+        assert "warm" not in serial_stats.describe()
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: degrade, never hang
+# ---------------------------------------------------------------------------
+
+class TestCrashRecovery:
+    def test_dead_worker_is_detected_and_work_rescued(self, pool):
+        cells = plan_cells(_base(seed=8), SIZES, COUNTS)
+        run_cells(cells, jobs=2, pool=pool)           # boot both workers
+        victim = min(pool._workers)                   # lowest id gets
+        pool._workers[victim].process.kill()          # the next dispatch
+        pool._workers[victim].process.join()
+        serial, _ = run_cells(cells, jobs=1)
+        rescued, stats = run_cells(cells, jobs=2, pool=pool)
+        assert _digests(rescued) == _digests(serial)
+        assert pool.stats.crashed_workers >= 1
+        assert victim not in pool._workers
+
+    def test_no_spawnable_workers_degrades_inline(self):
+        # With the worker ceiling forced to zero the manager must run
+        # every task itself rather than hang waiting for processes that
+        # can never exist.
+        p = WorkerPool(1)
+        try:
+            p.max_workers = 0
+            cells = plan_cells(_base(seed=8), [1024], COUNTS)
+            serial, _ = run_cells(cells, jobs=1)
+            inline, stats = run_cells(cells, jobs=2, pool=p)
+            assert _digests(inline) == _digests(serial)
+            assert stats.worker_cells == {-1: len(cells)}
+        finally:
+            p.shutdown()
+
+    def test_worker_exception_raises_structured_error(self, pool):
+        with pytest.raises(PoolTaskError, match="boom-key"):
+            list(pool.run(["not-a-config"], keys=["boom-key"]))
+        # The pool survives a failed run: the next session's epoch
+        # ignores any stale leftovers and fresh work still completes.
+        config = plan_cells(_base(seed=8), [1024], [1])[0]
+        (key, shipped), = pool.run([config])
+        assert shipped["event_digest"] == \
+            run_ptp_benchmark(config).event_digest
+
+
+# ---------------------------------------------------------------------------
+# The wire format and run accounting
+# ---------------------------------------------------------------------------
+
+class TestShippedRoundTrip:
+    def test_ship_then_unship_is_lossless(self):
+        config = plan_cells(_base(noise=UniformNoise(4.0)), [1024], [4])[0]
+        fresh = run_ptp_benchmark(config)
+        back = result_from_shipped(config, ship_result(fresh))
+        assert back.event_digest == fresh.event_digest
+        assert back.trials == fresh.trials
+        assert [s.timeline for s in back.samples] == \
+            [s.timeline for s in fresh.samples]
+        assert [s.metrics for s in back.samples] == \
+            [s.metrics for s in fresh.samples]
+
+
+class TestPoolRunStats:
+    def test_absorb_accumulates_everything(self):
+        total = PoolRunStats()
+        total.absorb(PoolRunStats(tasks=3, warm_tasks=1, stolen_tasks=1,
+                                  booted_workers=2, crashed_workers=1,
+                                  inline_tasks=1, worker_tasks={0: 2, 1: 1}))
+        total.absorb(PoolRunStats(tasks=2, worker_tasks={1: 2}))
+        assert total.tasks == 5
+        assert total.warm_tasks == 1
+        assert total.stolen_tasks == 1
+        assert total.booted_workers == 2
+        assert total.crashed_workers == 1
+        assert total.inline_tasks == 1
+        assert total.worker_tasks == {0: 2, 1: 3}
+
+    def test_pool_emits_lifecycle_events(self, pool):
+        from repro.obs import MemorySink
+        sink = MemorySink()
+        pool.obs.attach(sink, ["pool.*"])
+        cells = plan_cells(_base(seed=3), [1024], COUNTS)
+        run_cells(cells, jobs=2, pool=pool)
+        kinds = {rec.kind.name for rec in sink.records}
+        assert "pool.worker_boot" in kinds
+        assert "pool.dispatch" in kinds
+        assert "pool.result" in kinds
+        assert "pool.drain" in kinds

@@ -49,3 +49,22 @@ def test_digest_is_repeatable_within_process(kwargs, expected):
     first = run_ptp_benchmark(PtpBenchmarkConfig(**kwargs)).event_digest
     second = run_ptp_benchmark(PtpBenchmarkConfig(**kwargs)).event_digest
     assert first == second == expected
+
+
+def test_golden_digests_via_worker_pool():
+    """The pool path must reproduce the pinned digests bit for bit.
+
+    The workers ship raw timelines + digests back to the manager, so a
+    scheduling or serialization bug on the pool path would surface here
+    even if the simulator itself is untouched.
+    """
+    from repro.core import WorkerPool
+
+    configs = [PtpBenchmarkConfig(**kwargs) for kwargs, _ in GOLDEN]
+    pool = WorkerPool(2)
+    try:
+        got = dict(pool.run(configs))
+    finally:
+        pool.shutdown()
+    assert [got[i]["event_digest"] for i in range(len(GOLDEN))] == \
+        [expected for _, expected in GOLDEN]
