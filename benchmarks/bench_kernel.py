@@ -254,6 +254,65 @@ def test_faults_off_trial_cost(benchmark):
     assert result.fault_outcome is None
 
 
+def _ship_fixture():
+    """One realistic shipped result (8 samples x 8 partitions) + config."""
+    from repro.core import plan_cells
+    base = PtpBenchmarkConfig(message_bytes=1 << 16, partitions=8,
+                              compute_seconds=1e-4, iterations=8, warmup=0)
+    config = plan_cells(base, [1 << 16], [8])[0]
+    return config, run_ptp_benchmark(config)
+
+
+def test_ship_roundtrip_codec(benchmark):
+    """Result -> binary wire frame -> queue pickle -> result.
+
+    Mirrors the ``ship_roundtrip_codec`` guard kernel; the guard holds
+    it to <= 0.5x ``ship_roundtrip_dict`` in the same run — the codec
+    must beat the dict-of-lists shape it replaced by at least 2x.
+    """
+    import pickle
+    from repro.core.wire import decode_result, encode_result
+    config, result = _ship_fixture()
+
+    def run():
+        frame = pickle.loads(pickle.dumps(encode_result(result)))
+        return len(decode_result(config, frame).samples)
+
+    assert benchmark(run) == len(result.samples)
+
+
+def test_ship_roundtrip_dict(benchmark):
+    """The same round trip through the legacy dict fallback shape."""
+    import pickle
+    from repro.core.pool import result_from_shipped, ship_result
+    config, result = _ship_fixture()
+
+    def run():
+        shipped = pickle.loads(pickle.dumps(ship_result(result)))
+        return len(result_from_shipped(config, shipped).samples)
+
+    assert benchmark(run) == len(result.samples)
+
+
+def test_cache_hot_get(benchmark, tmp_path):
+    """A hot get through the sharded cache's disk tier.
+
+    Mirrors the ``cache_hot_get`` guard kernel (<= 1.1x a bare flat
+    read+decode in the same run): envelope validation, shard-path
+    assembly, and counter bookkeeping must stay near-free.
+    ``memory_entries=0`` forces every get down the disk path.
+    """
+    from repro.core import ResultCache
+    config, result = _ship_fixture()
+    cache = ResultCache(tmp_path / "cache", memory_entries=0)
+    cache.put(config, result)
+
+    def run():
+        return len(cache.get(config).samples)
+
+    assert benchmark(run) == len(result.samples)
+
+
 def test_pool_warm_vs_cold_sweep(benchmark):
     """A 4-cell sweep on a kept warm pool vs spawn-per-sweep.
 

@@ -50,9 +50,11 @@ BASELINE_PATH = REPO_ROOT / "BENCH_BASELINE.json"
 #:    time-bucketed future queue, recycled sleeps, single-waiter
 #:    dispatch, record-free emission) — the dispatch-heavy kernels run
 #:    1.3-2x faster, so v2 budgets would hide large regressions.
-#:    (Extended in place with the analytic/planner kernels, then the
-#:    worker-pool warm/cold pair — additive entries only, existing
-#:    scores untouched, so no version bump.)
+#:    (Extended in place with the analytic/planner kernels, the
+#:    worker-pool warm/cold pair, and the result-plane kernels — wire
+#:    codec vs dict round-trip, sharded vs flat cache get, batched vs
+#:    per-task dispatch — additive entries only, existing scores
+#:    untouched, so no version bump.)
 BASELINE_VERSION = 3
 
 
@@ -237,6 +239,145 @@ def pool_warm_sweep():
     return len(results)
 
 
+#: Fixture behind the result-plane kernels: one realistic shipped result
+#: (8 samples x 8 partitions) plus its fully resolved config.
+_SHIP_FIXTURE = None
+
+
+def _ship_fixture():
+    global _SHIP_FIXTURE
+    if _SHIP_FIXTURE is None:
+        from repro.core import plan_cells
+        base = PtpBenchmarkConfig(message_bytes=1 << 16, partitions=8,
+                                  compute_seconds=1e-4, iterations=8,
+                                  warmup=0)
+        config = plan_cells(base, [1 << 16], [8])[0]
+        _SHIP_FIXTURE = (config, run_ptp_benchmark(config))
+    return _SHIP_FIXTURE
+
+
+def ship_roundtrip_codec():
+    """Result -> binary wire frame -> queue pickle -> result, 50 times.
+
+    The fast path of the result plane: one struct-packed bytes object
+    crosses the boundary.  Budgeted at <= 0.5x ``ship_roundtrip_dict``
+    in the same run (:data:`RATIO_CHECKS`) — the codec must be at least
+    twice as fast as the dict-of-lists shape it replaced.
+    """
+    import pickle
+    from repro.core.wire import decode_result, encode_result
+    config, result = _ship_fixture()
+    n = 0
+    for _ in range(50):
+        frame = pickle.loads(pickle.dumps(encode_result(result)))
+        n += len(decode_result(config, frame).samples)
+    return n
+
+
+def ship_roundtrip_dict():
+    """The same round trip through the legacy dict fallback shape."""
+    import pickle
+    from repro.core.pool import result_from_shipped, ship_result
+    config, result = _ship_fixture()
+    n = 0
+    for _ in range(50):
+        shipped = pickle.loads(pickle.dumps(ship_result(result)))
+        n += len(result_from_shipped(config, shipped).samples)
+    return n
+
+
+#: Fixture behind the cache-get pair: one entry stored through the
+#: sharded cache, plus the identical wire frame at a flat shard-free
+#: path (the bare read+decode reference).
+_CACHE_FIXTURE = None
+
+
+def _cache_fixture():
+    global _CACHE_FIXTURE
+    if _CACHE_FIXTURE is None:
+        import tempfile
+        from repro.core import ResultCache, config_fingerprint
+        from repro.core.wire import encode_result
+        config, result = _ship_fixture()
+        root = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+        # memory_entries=0 forces every get down the disk path — the
+        # kernel measures the sharded read+decode, not an OrderedDict hit.
+        cache = ResultCache(root / "sharded", memory_entries=0)
+        cache.put(config, result)
+        flat = root / "flat.bin"
+        flat.write_bytes(encode_result(result))
+        _CACHE_FIXTURE = (cache, flat, config)
+    return _CACHE_FIXTURE
+
+
+def cache_hot_get():
+    """100 hot gets through the full sharded-cache API (disk tier).
+
+    Envelope validation, shard-path assembly, and counter bookkeeping
+    ride every get; budgeted at <= 1.1x ``cache_flat_get`` in the same
+    run — the sharded layout and the cache's bookkeeping together may
+    cost at most 10% over a bare flat read+decode.
+    """
+    cache, _, config = _cache_fixture()
+    n = 0
+    for _ in range(100):
+        n += len(cache.get(config).samples)
+    return n
+
+
+def cache_flat_get():
+    """The reference: 100 bare flat-file reads + frame decodes."""
+    from repro.core.wire import decode_result
+    _, flat, config = _cache_fixture()
+    n = 0
+    for _ in range(100):
+        n += len(decode_result(config, flat.read_bytes()).samples)
+    return n
+
+
+#: The grid behind the batched-dispatch pair: 64 distinct cheap DES
+#: cells, where per-message queue + pickling overhead dominates unless
+#: many cells ride one message.
+def _batch_cells():
+    from repro.core import plan_cells
+    base = PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                              compute_seconds=1e-5, iterations=1, warmup=0)
+    return plan_cells(base, [64 * (i + 1) for i in range(64)], [1])
+
+
+_BATCHED_POOL = None
+_PERTASK_POOL = None
+
+
+def pool_batched_sweep64():
+    """64 cheap cells on a warm pool with adaptive chunked dispatch.
+
+    The first (untimed warmup) call feeds the pool's per-task cost EMA,
+    so the timed repeats dispatch calibrated multi-task chunks.
+    Budgeted at <= 1.0x ``pool_pertask_sweep64`` in the same run: the
+    batched result plane must beat strict per-task dispatch on exactly
+    the workload batching exists for.
+    """
+    global _BATCHED_POOL
+    from repro.core import WorkerPool, run_cells
+    if _BATCHED_POOL is None:
+        _BATCHED_POOL = WorkerPool(2)
+    results, _ = run_cells(_batch_cells(), jobs=2, pool=_BATCHED_POOL)
+    return len(results)
+
+
+def pool_pertask_sweep64():
+    """The same 64 cells with ``max_chunk=1``: one queue message per task
+    (the pre-batching wire behaviour, kept as the comparison baseline).
+    """
+    global _PERTASK_POOL
+    from repro.core import WorkerPool, run_cells
+    if _PERTASK_POOL is None:
+        _PERTASK_POOL = WorkerPool(2, max_chunk=1)
+    results, _ = run_cells(_batch_cells(), jobs=2, pool=_PERTASK_POOL)
+    return len(results)
+
+
 def _build_sweep():
     sizes = [64 * 4 ** k for k in range(10)]
     counts = [1, 2, 4, 8, 16, 32]
@@ -334,6 +475,12 @@ KERNELS = {
     "planner_overhead": planner_overhead,
     "pool_cold_spawn": pool_cold_spawn,
     "pool_warm_sweep": pool_warm_sweep,
+    "ship_roundtrip_codec": ship_roundtrip_codec,
+    "ship_roundtrip_dict": ship_roundtrip_dict,
+    "cache_hot_get": cache_hot_get,
+    "cache_flat_get": cache_flat_get,
+    "pool_batched_sweep64": pool_batched_sweep64,
+    "pool_pertask_sweep64": pool_pertask_sweep64,
     "sweep_point_lookup": sweep_point_lookup,
     "obs_emission_disabled": obs_emission_disabled,
     "obs_emission_counted": obs_emission_counted,
@@ -376,6 +523,15 @@ RATIO_CHECKS = (
     # sweep paying spawn + boot + shutdown every time — the boot-once
     # promise of repro.core.pool.
     ("pool_warm_sweep", "pool_cold_spawn", 0.5),
+    # The binary wire codec must round-trip a shipped result at least
+    # twice as fast as the dict-of-lists shape it replaced.
+    ("ship_roundtrip_codec", "ship_roundtrip_dict", 0.5),
+    # A hot get through the sharded cache (envelope check, shard path,
+    # counters) may cost at most 10% over a bare flat read+decode.
+    ("cache_hot_get", "cache_flat_get", 1.1),
+    # Batched dispatch must beat strict per-task dispatch on a warm
+    # 64-cheap-cell sweep — the workload chunking exists for.
+    ("pool_batched_sweep64", "pool_pertask_sweep64", 1.0),
 )
 
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI gate for the v4 -> v5 cache migration.
+
+Builds a legacy v4 cache in a temp directory — JSON records in both
+historical layouts (flat ``<root>/<fp>.json`` and sharded
+``<root>/ab/<fp>.json``), written exactly as PR 8's ``put()`` did — then
+runs :meth:`ResultCache.migrate` and proves the upgrade end to end:
+
+* every legacy record is upgraded (and its JSON original removed);
+* every migrated fingerprint resolves for the config that produced it;
+* a full sweep over the migrated cache reruns with **zero** simulator
+  executions and bit-identical digests.
+
+Exits nonzero on any violation.  Usage::
+
+    python scripts/cache_migrate_check.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (PtpBenchmarkConfig, ResultCache,  # noqa: E402
+                        config_fingerprint, plan_cells, result_to_dict,
+                        run_cells, run_ptp_benchmark)
+from repro.core.runner import EXECUTIONS  # noqa: E402
+
+#: The legacy value-format generation this check builds by hand.
+LEGACY_SCHEMA = 4
+
+
+def write_legacy_record(root: pathlib.Path, config, result,
+                        sharded: bool) -> pathlib.Path:
+    """One v4 JSON cache record, byte-layout of the pre-binary cache."""
+    fingerprint = config_fingerprint(config)
+    payload = {
+        "schema": LEGACY_SCHEMA,
+        "fingerprint": fingerprint,
+        "label": config.label(),
+        "result": result_to_dict(result),
+    }
+    if sharded:
+        path = root / fingerprint[:2] / f"{fingerprint}.json"
+    else:
+        path = root / f"{fingerprint}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def main() -> int:
+    base = PtpBenchmarkConfig(message_bytes=64, partitions=1,
+                              compute_seconds=1e-4, iterations=2)
+    cells = plan_cells(base, [1024, 65536], [1, 4])
+    fresh = [run_ptp_benchmark(config) for config in cells]
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-migrate-check-") as tmp:
+        root = pathlib.Path(tmp) / "cache"
+        legacy = [write_legacy_record(root, config, result,
+                                      sharded=i % 2 == 0)
+                  for i, (config, result) in enumerate(zip(cells, fresh))]
+
+        cache = ResultCache(root)
+        if len(cache) != 0:
+            failures.append("v4 records counted as v5 entries before "
+                            "migration")
+        migrated = cache.migrate()
+        print(f"migrated {migrated}/{len(cells)} legacy record(s)")
+        if migrated != len(cells):
+            failures.append(f"migrate() upgraded {migrated} of "
+                            f"{len(cells)} records")
+        if len(cache) != len(cells):
+            failures.append(f"{len(cache)} binary entries on disk, "
+                            f"expected {len(cells)}")
+        leftovers = [p for p in legacy if p.exists()]
+        if leftovers:
+            failures.append(f"{len(leftovers)} JSON original(s) not "
+                            f"removed: {leftovers}")
+
+        # Every fingerprint must resolve, and a rerun over the migrated
+        # cache must execute zero simulations.
+        for config in cells:
+            if cache.get(config) is None:
+                failures.append(f"migrated fingerprint does not resolve "
+                                f"for {config.label()}")
+        EXECUTIONS.reset()
+        again, stats = run_cells(cells, jobs=1, cache=cache)
+        print(f"rerun over migrated cache: {stats.describe()}")
+        if EXECUTIONS.value != 0:
+            failures.append(f"rerun executed {EXECUTIONS.value} "
+                            f"simulation(s), expected 0")
+        if stats.cache_hits != len(cells):
+            failures.append(f"rerun hit {stats.cache_hits} of "
+                            f"{len(cells)} cells")
+        for config, a, b in zip(cells, again, fresh):
+            if a.event_digest != b.event_digest:
+                failures.append(f"digest drift through migration for "
+                                f"{config.label()}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("cache migrate check:", "FAIL" if failures else "PASS")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,8 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .core import (ANALYTIC_MODES, METRIC_NAMES, PtpBenchmarkConfig,
+from .core import (ANALYTIC_MODES, CACHE_SCHEMA_VERSION, METRIC_NAMES,
+                   PtpBenchmarkConfig,
                    ResultCache, fault_table, fig4_overhead,
                    fig5_perceived_bandwidth, fig6_availability,
                    fig7_noise_models, fig8_early_bird, metric_table,
@@ -414,9 +415,7 @@ def _cmd_sweep(args) -> str:
     if provenance is not None:
         parts.append(provenance)
     if cache is not None:
-        parts.append(f"cache at {cache.root}: {cache.hits} hits, "
-                     f"{cache.misses} misses, {cache.stores} stored, "
-                     f"{len(cache)} entries on disk")
+        parts.append(cache.describe())
     if args.save:
         path = save_sweep(sweep, args.save)
         parts.append(f"saved to {path}")
@@ -424,12 +423,19 @@ def _cmd_sweep(args) -> str:
 
 
 def _cmd_cache(args) -> str:
-    """Inspect or clear a content-addressed result cache directory."""
+    """Inspect, clear, or migrate a content-addressed cache directory."""
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         return f"cleared {removed} cached result(s) from {cache.root}"
-    return f"cache at {cache.root}: {len(cache)} entry(ies)"
+    if args.action == "migrate":
+        upgraded = cache.migrate()
+        return (f"migrated {upgraded} legacy JSON entr(y/ies) to the "
+                f"binary format; {len(cache)} entry(ies) now at "
+                f"{cache.root}")
+    stats = cache.stats()
+    return (f"cache at {cache.root}: {stats['entries']} entry(ies) on "
+            f"disk, schema v{CACHE_SCHEMA_VERSION}")
 
 
 def _findings_json(findings) -> str:
@@ -684,8 +690,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(sw)
 
     ca = sub.add_parser(
-        "cache", help="inspect or clear a result-cache directory")
-    ca.add_argument("action", choices=["info", "clear"])
+        "cache",
+        help="inspect, clear, or migrate a result-cache directory")
+    ca.add_argument("action", choices=["info", "clear", "migrate"])
     ca.add_argument("--cache-dir", required=True,
                     help="cache directory to act on")
 

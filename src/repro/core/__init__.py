@@ -19,7 +19,8 @@ from .compare import (COMPARE_MODES, Drift, compare_sweeps, drift_table,
 from .config import (COLD, HOT, PAPER_MESSAGE_SIZES, PAPER_PARTITION_COUNTS,
                      PtpBenchmarkConfig)
 from .guidance import OBJECTIVES, Recommendation, recommend_partitions
-from .parallel import (ANALYTIC_MODES, ResultCache, SweepStats,
+from .parallel import (ANALYTIC_MODES, CACHE_SCHEMA_VERSION,
+                       FINGERPRINT_VERSION, ResultCache, SweepStats,
                        config_fingerprint, derive_cell_seed, plan_cells,
                        run_cells)
 from .persistence import (load_sweep, result_from_dict,
@@ -36,6 +37,8 @@ from .suite import (QUICK_MESSAGE_SIZES, QUICK_PARTITION_COUNTS,
                     fig4_overhead, fig5_perceived_bandwidth,
                     fig6_availability, fig7_noise_models, fig8_early_bird)
 from .sweep import METRIC_NAMES, SweepPoint, SweepResult, sweep_ptp
+from .wire import (WIRE_VERSION, WireError, decode_payload, decode_result,
+                   encode_result)
 
 __all__ = [
     "COLD",
@@ -49,6 +52,8 @@ __all__ = [
     "drift_table",
     "gate_sweeps",
     "ANALYTIC_MODES",
+    "CACHE_SCHEMA_VERSION",
+    "FINGERPRINT_VERSION",
     "OBJECTIVES",
     "Recommendation",
     "recommend_partitions",
@@ -93,4 +98,9 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "sweep_ptp",
+    "WIRE_VERSION",
+    "WireError",
+    "decode_payload",
+    "decode_result",
+    "encode_result",
 ]

@@ -34,29 +34,48 @@ import json
 import os
 import pathlib
 import shutil
+import struct
+import threading
 from collections import OrderedDict
 from enum import Enum
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
 from ..errors import ConfigurationError
-from ..faults import FaultOutcome
 from .config import PtpBenchmarkConfig
-from .persistence import result_to_dict, sample_from_dict
+from .persistence import result_from_dict
 from .pool import WorkerPool, result_from_shipped
 from .runner import PtpResult, run_ptp_benchmark
+from .wire import WireError, decode_result, encode_result
 
-__all__ = ["CACHE_SCHEMA_VERSION", "ANALYTIC_MODES", "SweepStats",
-           "ResultCache", "config_fingerprint", "derive_cell_seed",
-           "plan_cells", "run_cells"]
+__all__ = ["CACHE_SCHEMA_VERSION", "FINGERPRINT_VERSION", "ANALYTIC_MODES",
+           "SweepStats", "ResultCache", "config_fingerprint",
+           "derive_cell_seed", "plan_cells", "run_cells"]
 
 #: Bumped whenever cached entries become unreadable by newer code (layout
-#: changes) *or* stale (simulation semantics changed).  Old entries are
-#: simply treated as misses.
+#: changes).  Old entries are simply treated as misses (or upgraded by
+#: :meth:`ResultCache.migrate` when the stored state is still valid).
 #: 2: results carry the instrumentation-stream digest (repro.obs).
 #: 3: results carry the fault outcome (repro.faults).
 #: 4: results carry their provenance (source + merged trial count).
-CACHE_SCHEMA_VERSION = 4
+#: 5: values are binary wire frames (repro.core.wire) instead of JSON.
+CACHE_SCHEMA_VERSION = 5
+
+#: Mixed into :func:`config_fingerprint` — bumped only when *simulation
+#: semantics* change, so stored results are actually stale.  The v5
+#: on-disk format change was layout-only (the same timelines, digests,
+#: and provenance, packed differently), so fingerprints deliberately
+#: stay compatible with v4: that is what lets ``migrate()`` upgrade a
+#: v4 cache in place without recomputing a single cell.
+FINGERPRINT_VERSION = 4
+
+#: The JSON value-format generation :meth:`ResultCache.migrate` upgrades.
+_LEGACY_JSON_SCHEMA = 4
+
+#: Cache entry envelope: magic, schema, label length; the config label
+#: (debuggability only) and the wire frame follow.
+_CACHE_MAGIC = b"RPC\x01"
+_ENVELOPE = struct.Struct("<4sHH")
 
 
 # ---------------------------------------------------------------------------
@@ -119,7 +138,9 @@ def config_fingerprint(config: PtpBenchmarkConfig,
     """
     fingerprint = config.__dict__.get("_fingerprint")
     if fingerprint is None:
-        payload = {"schema": CACHE_SCHEMA_VERSION,
+        # Keyed by FINGERPRINT_VERSION, *not* the on-disk schema: a
+        # layout-only schema bump must keep every identity stable.
+        payload = {"schema": FINGERPRINT_VERSION,
                    "config": _canonical(config)}
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         fingerprint = hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -157,21 +178,45 @@ def derive_cell_seed(base_seed: int, message_bytes: int,
 # The content-addressed result cache
 # ---------------------------------------------------------------------------
 
+class _Flight:
+    """One in-flight computation another caller can wait on."""
+
+    __slots__ = ("event", "entry")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        #: Set by the leader's put(): (samples, digest, outcome, source,
+        #: trials) — the memory-tier entry shape.  None after abandon().
+        self.entry: Optional[tuple] = None
+
+
 class ResultCache:
     """Content-addressed store of :class:`PtpResult` objects on disk.
 
-    Layout: ``<root>/<first two hex chars>/<fingerprint>.json``, one file
-    per configuration.  Entries are written atomically (tmp file + rename)
-    so concurrent sweeps sharing a cache directory cannot corrupt each
-    other.  Hit/miss/store counters accumulate across calls and feed the
-    sweep report.
+    Layout: ``<root>/<first two hex chars>/<fingerprint>.bin`` —
+    git-object-style fingerprint-prefix shards, one file per
+    configuration, each a small envelope around a binary
+    :mod:`~repro.core.wire` frame (schema v5).  Entries are written
+    atomically (tmp file + rename) and reads take no lock of any kind,
+    so concurrent sweeps sharing a cache directory cannot corrupt or
+    block each other.  Hit/miss/store counters accumulate across calls
+    and feed the sweep report; :meth:`stats` snapshots them.
 
     An in-process LRU tier (``memory_entries`` results, the first slice
     of the ROADMAP sweep-service memory tier) sits in front of the disk
     reads: repeated gets for the same cell — report regeneration,
-    comparison runs, a service loop — skip the JSON parse entirely.
+    comparison runs, a service loop — skip the decode entirely.
     ``memory_hits`` counts the gets it absorbed (also included in
     ``hits``).
+
+    Concurrent *computations* of the same fingerprint are collapsed by a
+    per-fingerprint single-flight registry (:meth:`claim` /
+    :meth:`join`): the first caller becomes the leader and executes; any
+    other caller that arrives before the leader's :meth:`put` blocks on
+    the registration and shares the leader's result instead of
+    recomputing it.  The engine surfaces those as
+    ``SweepStats.singleflight_hits``.  All bookkeeping is thread-safe;
+    a cache instance may be shared by concurrent sweeps.
     """
 
     def __init__(self, root: Union[str, pathlib.Path],
@@ -184,25 +229,39 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.memory_hits = 0
+        #: Gets answered by joining another caller's in-flight
+        #: computation instead of reading or recomputing.
+        self.singleflight_hits = 0
         self._memory_entries = memory_entries
         #: fingerprint -> (samples, event_digest, fault_outcome, source,
         #: trials); samples are frozen PtpSample objects, shared between
         #: the tier and every result handed out (copied lists, so caller
         #: mutations of ``result.samples`` cannot corrupt the tier).
         self._memory: "OrderedDict[str, tuple]" = OrderedDict()
+        #: fingerprint -> _Flight for computations currently in flight.
+        self._inflight: Dict[str, _Flight] = {}
+        self._lock = threading.Lock()
 
     def _path(self, fingerprint: str) -> pathlib.Path:
-        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+        return self.root / fingerprint[:2] / f"{fingerprint}.bin"
 
     def _remember(self, fingerprint: str, result: PtpResult) -> None:
         if self._memory_entries == 0:
             return
-        self._memory[fingerprint] = (
-            tuple(result.samples), result.event_digest,
-            result.fault_outcome, result.source, result.trials)
-        self._memory.move_to_end(fingerprint)
-        while len(self._memory) > self._memory_entries:
-            self._memory.popitem(last=False)
+        with self._lock:
+            self._memory[fingerprint] = (
+                tuple(result.samples), result.event_digest,
+                result.fault_outcome, result.source, result.trials)
+            self._memory.move_to_end(fingerprint)
+            while len(self._memory) > self._memory_entries:
+                self._memory.popitem(last=False)
+
+    @staticmethod
+    def _from_entry(config: PtpBenchmarkConfig, entry: tuple) -> PtpResult:
+        samples, digest, outcome, source, trials = entry
+        return PtpResult(config=config, samples=list(samples),
+                         event_digest=digest, fault_outcome=outcome,
+                         source=source, trials=trials)
 
     def get(self, config: PtpBenchmarkConfig,
             salt: Optional[str] = None) -> Optional[PtpResult]:
@@ -214,74 +273,196 @@ class ResultCache:
         ``salt`` must match the one the result was stored under.
         """
         fingerprint = config_fingerprint(config, salt)
-        entry = self._memory.get(fingerprint)
+        with self._lock:
+            entry = self._memory.get(fingerprint)
+            if entry is not None:
+                self._memory.move_to_end(fingerprint)
+                self.hits += 1
+                self.memory_hits += 1
         if entry is not None:
-            self._memory.move_to_end(fingerprint)
-            samples, digest, outcome, source, trials = entry
-            result = PtpResult(config=config, samples=list(samples),
-                               event_digest=digest, fault_outcome=outcome,
-                               source=source, trials=trials)
-            self.hits += 1
-            self.memory_hits += 1
-            return result
+            return self._from_entry(config, entry)
         path = self._path(fingerprint)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
+            blob = path.read_bytes()
+            magic, schema, label_len = _ENVELOPE.unpack_from(blob, 0)
+        except (OSError, struct.error):
+            with self._lock:
+                self.misses += 1
             return None
-        if data.get("schema") != CACHE_SCHEMA_VERSION:
-            self.misses += 1
+        if magic != _CACHE_MAGIC or schema != CACHE_SCHEMA_VERSION:
+            with self._lock:
+                self.misses += 1
             return None
-        record = data["result"]
-        result = PtpResult(config=config,
-                           event_digest=record.get("event_digest"),
-                           source=record.get("source", "des"),
-                           trials=record.get("trials", 1))
-        outcome = record.get("fault_outcome")
-        if outcome is not None:
-            result.fault_outcome = FaultOutcome.from_dict(outcome)
-        for s in record["samples"]:
-            result.samples.append(sample_from_dict(s))
-        self.hits += 1
+        try:
+            result = decode_result(
+                config, memoryview(blob)[_ENVELOPE.size + label_len:])
+        except WireError:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
         self._remember(fingerprint, result)
         return result
 
-    def put(self, config: PtpBenchmarkConfig, result: PtpResult,
-            salt: Optional[str] = None) -> None:
-        """Store ``result`` under ``config``'s fingerprint (atomic)."""
-        fingerprint = config_fingerprint(config, salt)
+    def _write(self, fingerprint: str, label: str, frame: bytes) -> None:
         path = self._path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-            "label": config.label(),
-            "result": result_to_dict(result),
-        }
+        encoded = label.encode("utf-8")[:0xFFFF]
+        payload = _ENVELOPE.pack(_CACHE_MAGIC, CACHE_SCHEMA_VERSION,
+                                 len(encoded)) + encoded + frame
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload))
+        tmp.write_bytes(payload)
         tmp.replace(path)
-        self.stores += 1
-        # The memory tier holds *validated reads* only — remembering the
-        # put here would let a get return an entry that no longer
-        # matches what is on disk (e.g. after an external rewrite).  The
-        # first get pays one JSON parse; every later one is free.
-        self._memory.pop(fingerprint, None)
+
+    def put(self, config: PtpBenchmarkConfig, result: PtpResult,
+            salt: Optional[str] = None) -> None:
+        """Store ``result`` under ``config``'s fingerprint (atomic).
+
+        Also publishes the result to any caller blocked in :meth:`join`
+        on the same fingerprint (the single-flight hand-off).
+        """
+        fingerprint = config_fingerprint(config, salt)
+        self._write(fingerprint, config.label(), encode_result(result))
+        with self._lock:
+            self.stores += 1
+            # The memory tier holds *validated reads* only — remembering
+            # the put here would let a get return an entry that no longer
+            # matches what is on disk (e.g. after an external rewrite).
+            # The first get pays one decode; every later one is free.
+            self._memory.pop(fingerprint, None)
+            flight = self._inflight.pop(fingerprint, None)
+        if flight is not None:
+            flight.entry = (tuple(result.samples), result.event_digest,
+                            result.fault_outcome, result.source,
+                            result.trials)
+            flight.event.set()
+
+    # -- single-flight ----------------------------------------------------
+
+    def claim(self, fingerprint: str) -> Optional[_Flight]:
+        """Try to become the computation leader for ``fingerprint``.
+
+        Returns None when the caller now leads — it *must* eventually
+        :meth:`put` the result (which publishes it) or :meth:`abandon`
+        the claim.  Otherwise returns the existing in-flight
+        registration, to be handed to :meth:`join`.
+        """
+        with self._lock:
+            flight = self._inflight.get(fingerprint)
+            if flight is None:
+                self._inflight[fingerprint] = _Flight()
+                return None
+            return flight
+
+    def join(self, flight: _Flight, config: PtpBenchmarkConfig,
+             timeout: Optional[float] = None) -> Optional[PtpResult]:
+        """Wait for a claimed computation and share its result.
+
+        Returns None if the leader abandoned (or ``timeout`` expired) —
+        the caller should then compute the cell itself.
+        """
+        if not flight.event.wait(timeout):
+            return None
+        if flight.entry is None:
+            return None
+        with self._lock:
+            self.singleflight_hits += 1
+        return self._from_entry(config, flight.entry)
+
+    def abandon(self, fingerprint: str) -> None:
+        """Release a claim without a result (leader failed); wakes joiners."""
+        with self._lock:
+            flight = self._inflight.pop(fingerprint, None)
+        if flight is not None:
+            flight.event.set()
+
+    # -- maintenance ------------------------------------------------------
 
     def __len__(self) -> int:
-        """Number of entries currently on disk."""
+        """Number of (current-schema) entries on disk."""
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.root.glob("*/*.bin"))
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the counters plus the on-disk entry count."""
+        with self._lock:
+            return {
+                "entries": len(self),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "memory_hits": self.memory_hits,
+                "singleflight_hits": self.singleflight_hits,
+                "memory_entries": len(self._memory),
+                "inflight": len(self._inflight),
+            }
+
+    def describe(self) -> str:
+        """One-line cache summary for reports and the CLI."""
+        s = self.stats()
+        line = (f"cache at {self.root}: {s['entries']} entry(ies), "
+                f"{s['hits']} hits ({s['memory_hits']} memory), "
+                f"{s['misses']} misses, {s['stores']} stored")
+        if s["singleflight_hits"]:
+            line += f", {s['singleflight_hits']} single-flight"
+        return line
 
     def clear(self) -> int:
-        """Delete every entry (both tiers); returns how many were on disk."""
+        """Delete every entry and reset *all* counters with the store.
+
+        Returns how many entries were on disk.  Counters are part of the
+        cleared state: a cleared cache reports like a fresh one instead
+        of carrying hit/miss history for entries that no longer exist.
+        """
         removed = len(self)
         if self.root.exists():
             shutil.rmtree(self.root)
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+            self.stores = 0
+            self.memory_hits = 0
+            self.singleflight_hits = 0
         return removed
+
+    def migrate(self) -> int:
+        """One-shot upgrade of legacy v4 JSON entries to the v5 format.
+
+        Handles both historical layouts — flat ``<root>/<fp>.json`` and
+        sharded ``<root>/ab/<fp>.json`` — re-encoding each record's
+        timelines as a wire frame under the sharded binary layout and
+        removing the JSON original.  Fingerprints are preserved verbatim
+        (the v4→v5 change was layout-only, see
+        :data:`FINGERPRINT_VERSION`), so every migrated entry resolves
+        for exactly the configs it did before, with zero recomputation.
+        Returns the number of entries migrated; unreadable or
+        older-schema files are left untouched.
+        """
+        if not self.root.exists():
+            return 0
+        migrated = 0
+        candidates = (list(self.root.glob("*.json"))
+                      + list(self.root.glob("*/*.json")))
+        for path in candidates:
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            fingerprint = data.get("fingerprint")
+            if data.get("schema") != _LEGACY_JSON_SCHEMA or not fingerprint:
+                continue
+            try:
+                result = result_from_dict(data["result"])
+                frame = encode_result(result)
+            except (KeyError, ConfigurationError, WireError):
+                continue
+            self._write(fingerprint, data.get("label", ""), frame)
+            path.unlink()
+            migrated += 1
+        return migrated
 
 
 # ---------------------------------------------------------------------------
@@ -309,6 +490,10 @@ class SweepStats:
     warm_hits: int = 0
     #: Pool tasks an idle worker stole from a loaded peer's queue.
     stolen_cells: int = 0
+    #: Cells answered by sharing another identical cell's in-flight
+    #: execution (duplicates in this grid, or a concurrent sweep on the
+    #: same cache) instead of executing or reading a stored entry.
+    singleflight_hits: int = 0
     #: Completed pool tasks per worker id (-1 = run inline in the
     #: manager after crash recovery).  Under an adaptive planner the
     #: unit of work is a single trial, otherwise a whole cell.
@@ -326,6 +511,8 @@ class SweepStats:
         if self.analytic:
             line += f", {self.analytic} analytic"
         line += f", {self.cache_hits} cache hits"
+        if self.singleflight_hits:
+            line += f", {self.singleflight_hits} single-flight"
         if self.worker_cells:
             spread = " ".join(
                 (f"w{w}:{c}" if w >= 0 else f"inline:{c}")
@@ -394,8 +581,9 @@ def _run_pooled(pool: WorkerPool,
     def submit_trials(i: int, config: PtpBenchmarkConfig,
                       count: int) -> None:
         start = scheduled.get(i, 0)
-        for t in range(start, start + count):
-            session.submit((i, t), planner.trial_config(config, t))
+        trial_cfgs = planner.trial_configs(config, start, count)
+        for t, trial_cfg in enumerate(trial_cfgs, start):
+            session.submit((i, t), trial_cfg)
         scheduled[i] = start + count
 
     for i, config in pending:
@@ -505,6 +693,12 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
     stats = SweepStats(jobs=jobs, total_cells=len(cells))
     results: Dict[int, PtpResult] = {}
     pending: List[Tuple[int, PtpBenchmarkConfig]] = []
+    #: fingerprint -> leader cell index, for cells this call executes.
+    claimed: Dict[str, int] = {}
+    #: This grid's duplicate cells: they share the leader's result.
+    followers: List[Tuple[int, str]] = []
+    #: Cells a *concurrent* sweep (same cache) is already computing.
+    joiners: List[Tuple[int, PtpBenchmarkConfig, _Flight, str]] = []
     for i, config in enumerate(cells):
         if progress is not None:
             progress(config)
@@ -512,6 +706,7 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
                   if cache is not None else None)
         if cached is not None:
             results[i] = cached
+            stats.cache_hits += 1
             continue
         if analytic != "off":
             reason = analytic_supported(config)
@@ -523,28 +718,62 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
                 raise ConfigurationError(
                     f"analytic=only, but cell {config.label()} needs the "
                     f"simulator: {reason}")
+        # Single-flight: identical uncached cells execute exactly once.
+        fingerprint = config_fingerprint(config, cell_salt(config))
+        if fingerprint in claimed:
+            followers.append((i, fingerprint))
+            stats.singleflight_hits += 1
+            continue
+        if cache is not None:
+            flight = cache.claim(fingerprint)
+            if flight is not None:
+                joiners.append((i, config, flight, fingerprint))
+                stats.singleflight_hits += 1
+                continue
+        claimed[fingerprint] = i
         pending.append((i, config))
 
     stats.executed = len(pending)
-    stats.cache_hits = len(cells) - len(pending) - stats.analytic
 
     if pending:
-        if pool is None and (jobs == 1 or len(pending) == 1):
+        try:
+            if pool is None and (jobs == 1 or len(pending) == 1):
+                for i, config in pending:
+                    results[i] = _run_des_cell(config, planner)
+            elif pool is not None:
+                _run_pooled(pool, pending, results, stats, planner)
+            else:
+                # Transient pool, clamped to the work: ``--jobs 64`` on a
+                # 4-cell grid spawns 4 workers, not 64.
+                transient = WorkerPool(min(jobs, len(pending)))
+                try:
+                    _run_pooled(transient, pending, results, stats, planner)
+                finally:
+                    transient.shutdown()
             for i, config in pending:
-                results[i] = _run_des_cell(config, planner)
-        elif pool is not None:
-            _run_pooled(pool, pending, results, stats, planner)
-        else:
-            # Transient pool, clamped to the work: ``--jobs 64`` on a
-            # 4-cell grid spawns 4 workers, not 64.
-            transient = WorkerPool(min(jobs, len(pending)))
-            try:
-                _run_pooled(transient, pending, results, stats, planner)
-            finally:
-                transient.shutdown()
-        for i, config in pending:
-            stats.trials += results[i].trials
+                stats.trials += results[i].trials
+                if cache is not None:
+                    # put() also publishes to any concurrent joiner.
+                    cache.put(config, results[i], salt=cell_salt(config))
+        except BaseException:
             if cache is not None:
-                cache.put(config, results[i], salt=cell_salt(config))
+                # Wake anyone waiting on our claims; they recompute.
+                for fingerprint in claimed:
+                    cache.abandon(fingerprint)
+            raise
+
+    for i, fingerprint in followers:
+        # Duplicate configs are bit-identical by construction, so the
+        # leader's (immutable-sample) result is shared as-is.
+        results[i] = results[claimed[fingerprint]]
+    for i, config, flight, fingerprint in joiners:
+        joined = cache.join(flight, config)
+        if joined is None:
+            # The concurrent leader abandoned: compute the cell here.
+            joined = _run_des_cell(config, planner)
+            stats.executed += 1
+            stats.trials += joined.trials
+            cache.put(config, joined, salt=cell_salt(config))
+        results[i] = joined
 
     return [results[i] for i in range(len(cells))], stats

@@ -9,6 +9,13 @@ The config snapshot stores the *descriptive* fields (sizes, counts, noise,
 cache, impl, seed); substrate objects (machine/network/cost presets) are
 recorded by repr only — a reloaded result is for analysis, not for
 re-running.
+
+This JSON layer is the *archival* format.  Results crossing a process or
+cache boundary travel as packed binary frames instead
+(:mod:`repro.core.wire`); the dict shapes here remain the codec's
+fallback, and :func:`result_from_dict` is what
+:meth:`~repro.core.parallel.ResultCache.migrate` uses to read legacy v4
+JSON cache records when upgrading them in place.
 """
 
 from __future__ import annotations

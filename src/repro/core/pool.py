@@ -14,13 +14,17 @@ swamps the quantity under study.
 loop): long-lived worker processes that boot **once** and stay warm —
 module imports, the process-wide interned :data:`repro.obs.SCHEMA`, and
 every memoized machine/network model survive from sweep to sweep.  The
-manager keeps one logical task deque per worker, hands out one task at a
-time, and lets an idle worker *steal* from the most loaded peer, so a
+manager keeps one logical task deque per worker, hands out adaptively
+sized *chunks* of tasks (many cheap cells or planner trials ride one
+queue message; the chunk size tracks the observed per-task cost, so
+expensive cells still dispatch one at a time), and lets an idle worker
+*steal* from the most loaded peer, so a
 skewed grid (one faulty or high-iteration cell among cheap ones) cannot
 serialize the sweep behind a single worker.  Results stream back to the
-manager incrementally — each cell's raw sample timelines plus its
-SHA-256 event digest the moment the worker finishes it — instead of
-arriving as one end-of-sweep batch.
+manager incrementally as binary :mod:`~repro.core.wire` frames — each
+cell's raw sample timelines plus its SHA-256 event digest, one packed
+queue message per chunk — instead of arriving as one end-of-sweep
+batch.
 
 Determinism is untouched by any of this: a task is a fully resolved,
 self-seeded :class:`~repro.core.config.PtpBenchmarkConfig`, so *which*
@@ -57,11 +61,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from ..errors import ConfigurationError, ReproError
 from ..faults import FaultOutcome
 from ..obs import EventBus
-from ..obs.kinds import (POOL_DISPATCH, POOL_DRAIN, POOL_RESULT, POOL_STEAL,
+from ..obs.kinds import (POOL_DISPATCH, POOL_DISPATCH_BATCH, POOL_DRAIN,
+                         POOL_RESULT, POOL_RESULT_BATCH, POOL_STEAL,
                          POOL_WORKER_BOOT, POOL_WORKER_CRASH)
 from .config import PtpBenchmarkConfig
 from .persistence import sample_from_dict, sample_to_dict
 from .runner import PtpResult, run_ptp_benchmark
+from .wire import WireError, decode_result, encode_result
 
 __all__ = ["PoolRunStats", "PoolTaskError", "WorkerPool", "shared_pool",
            "shutdown_shared_pool", "result_from_shipped", "ship_result"]
@@ -70,6 +76,15 @@ __all__ = ["PoolRunStats", "PoolTaskError", "WorkerPool", "shared_pool",
 #: liveness.  Purely a crash-detection latency bound; correctness does
 #: not depend on it.
 _POLL_SECONDS = 0.2
+
+#: Adaptive chunking: the manager grows a dispatch chunk until one chunk
+#: costs roughly this much worker time.  Big enough to amortize the
+#: per-message queue + pickling overhead over many cheap cells, small
+#: enough that an idle peer can still steal a skewed grid's backlog.
+_CHUNK_TARGET_SECONDS = 0.03
+
+#: EMA weight for the observed per-task cost that drives chunk sizing.
+_COST_EMA_ALPHA = 0.4
 
 #: A task whose worker died this many times is run inline in the manager
 #: instead of being redispatched (a poisoned cell must not assassinate
@@ -110,8 +125,15 @@ def ship_result(result: PtpResult) -> Dict:
 
 
 def result_from_shipped(config: PtpBenchmarkConfig,
-                        shipped: Dict) -> PtpResult:
-    """Rebuild a :class:`PtpResult` from a worker's shipped dict."""
+                        shipped) -> PtpResult:
+    """Rebuild a :class:`PtpResult` from a worker's shipped payload.
+
+    Accepts both payload shapes a worker may stream: the binary
+    :mod:`~repro.core.wire` frame (the fast path) and the dict fallback
+    above.
+    """
+    if isinstance(shipped, (bytes, bytearray, memoryview)):
+        return decode_result(config, shipped)
     result = PtpResult(config=config,
                        event_digest=shipped.get("event_digest"),
                        trials=shipped.get("trials", 1))
@@ -123,9 +145,19 @@ def result_from_shipped(config: PtpBenchmarkConfig,
     return result
 
 
-def _execute_shipped(config: PtpBenchmarkConfig) -> Dict:
-    """Run one config (in whichever process) and ship its result."""
-    return ship_result(run_ptp_benchmark(config))
+def _execute_shipped(config: PtpBenchmarkConfig):
+    """Run one config (in whichever process) and ship its result.
+
+    The preferred shape is a binary :mod:`~repro.core.wire` frame — one
+    flat bytes object instead of a dict of per-sample dicts of lists —
+    which the queue pickles in a single opcode.  A result the codec
+    cannot frame degrades to the dict fallback.
+    """
+    result = run_ptp_benchmark(config)
+    try:
+        return encode_result(result)
+    except WireError:
+        return ship_result(result)
 
 
 def _worker_main(worker_id: int, tasks, results) -> None:
@@ -134,24 +166,28 @@ def _worker_main(worker_id: int, tasks, results) -> None:
     Booting means everything this module's imports pulled in — the DES
     kernel, the MPI runtime, the interned event-kind tables, the machine
     and network presets — is resident and warm for every task that
-    follows.  Each message is ``(epoch, task_id, config)``; the reply is
-    ``("result", worker_id, epoch, task_id, shipped)`` or an ``"error"``
-    tuple carrying the formatted traceback.
+    follows.  Each message is ``(epoch, [(task_id, config), ...])`` — a
+    *chunk* of one or more tasks riding a single queue message; the
+    reply is one ``("results", worker_id, epoch, entries)`` message per
+    chunk, where each entry is ``(task_id, frame)`` for a success or
+    ``(task_id, ("error", message, traceback))`` for a task that raised
+    (the loop itself never dies on a task exception).
     """
     results.put(("boot", worker_id, os.getpid()))
     while True:
         message = tasks.get()
         if message is None:
             return
-        epoch, task_id, config = message
-        try:
-            shipped = _execute_shipped(config)
-        except Exception as exc:  # ships the traceback, never kills the loop
-            results.put(("error", worker_id, epoch, task_id,
-                         f"{type(exc).__name__}: {exc}",
-                         traceback.format_exc()))
-        else:
-            results.put(("result", worker_id, epoch, task_id, shipped))
+        epoch, chunk = message
+        entries = []
+        for task_id, config in chunk:
+            try:
+                entries.append((task_id, _execute_shipped(config)))
+            except Exception as exc:  # ships the traceback
+                entries.append((task_id,
+                                ("error", f"{type(exc).__name__}: {exc}",
+                                 traceback.format_exc())))
+        results.put(("results", worker_id, epoch, entries))
 
 
 # ---------------------------------------------------------------------------
@@ -197,19 +233,20 @@ class _Worker:
     """Manager-side handle for one worker process."""
 
     __slots__ = ("id", "process", "tasks", "queue", "booted", "busy",
-                 "current", "spawned_at")
+                 "current", "spawned_at", "dispatched_at")
 
     def __init__(self, worker_id: int, process, tasks) -> None:
         self.id = worker_id
         self.process = process
         self.tasks = tasks          # the worker's inbound task queue
-        self.queue: deque = deque()  # manager-side backlog of (id, cfg)
+        self.queue: deque = deque()  # manager-side backlog of task ids
         self.booted = False
         self.busy = False
-        self.current: Optional[int] = None  # in-flight task id
+        self.current: Optional[List[int]] = None  # in-flight chunk ids
         # Host clock, on purpose: pool lifecycle telemetry is
         # manager-side wall time, never simulated time.
         self.spawned_at = time.monotonic()  # simlint: disable=SIM101
+        self.dispatched_at = self.spawned_at
 
     @property
     def load(self) -> int:
@@ -235,7 +272,7 @@ class _PoolSession:
         self._keys: Dict[int, object] = {}
         self._crashes: Dict[int, int] = {}
         self._done: set = set()
-        self._inline: deque = deque()  # (task_id, shipped) run by manager
+        self._inline: deque = deque()  # task ids the manager will run
         self._ids = itertools.count()
 
     # -- submission --------------------------------------------------------
@@ -248,18 +285,14 @@ class _PoolSession:
         pool = self._pool
         worker = pool._place(self)
         if worker is None:
-            # No workers could be (re)started at all: degrade inline.
-            self._run_inline(task_id)
+            # No workers could be (re)started at all: degrade inline —
+            # queued here, *executed* when results() drains, so a
+            # crash-degraded manager does no work at submit time.
+            self._inline.append(task_id)
             return
-        if worker.busy:
-            worker.queue.append(task_id)
-        else:
-            pool._dispatch(worker, task_id, self)
-
-    def _run_inline(self, task_id: int) -> None:
-        self._inline.append((task_id, _execute_shipped(
-            self._payloads[task_id])))
-        self.stats.inline_tasks += 1
+        worker.queue.append(task_id)
+        if not worker.busy:
+            pool._refill(worker, self)
 
     # -- the streaming consumer -------------------------------------------
 
@@ -267,44 +300,62 @@ class _PoolSession:
         """Tasks submitted whose results have not been yielded yet."""
         return len(self._payloads) - len(self._done) - len(self._inline)
 
-    def results(self) -> Iterator[Tuple[object, Dict]]:
-        """Yield ``(key, shipped)`` as tasks complete, until drained.
+    def results(self) -> Iterator[Tuple[object, object]]:
+        """Yield ``(key, payload)`` as tasks complete, until drained.
 
-        Completion order follows execution, not submission; callers that
-        need submission order reassemble by key.  Worker crashes are
-        absorbed here (requeue, retry, inline fallback); a task that
-        *raised* inside a worker re-raises as :class:`PoolTaskError`.
+        ``payload`` is what the executing side shipped — a binary
+        :mod:`~repro.core.wire` frame, or the dict fallback; rebuild
+        with :func:`result_from_shipped`.  Completion order follows
+        execution, not submission; callers that need submission order
+        reassemble by key.  Worker crashes are absorbed here (requeue,
+        retry, inline fallback); a task that *raised* inside a worker
+        re-raises as :class:`PoolTaskError`.
         """
         pool = self._pool
         while self._inline or self.outstanding():
             if self._inline:
-                task_id, shipped = self._inline.popleft()
+                task_id = self._inline.popleft()
+                if task_id in self._done:
+                    continue  # completed by a worker retry meanwhile
+                shipped = _execute_shipped(self._payloads[task_id])
+                self.stats.inline_tasks += 1
                 yield self._finish(task_id, -1, shipped)
                 continue
             message = self._next_message()
+            if message is None:
+                continue  # crash recovery queued inline work
             kind = message[0]
             if kind == "boot":
                 pool._mark_booted(message[1], message[2], self)
                 continue
-            _, worker_id, epoch, task_id = message[:4]
+            _, worker_id, epoch, entries = message
+            chunk_ids = [task_id for task_id, _ in entries]
             worker = pool._workers.get(worker_id)
-            if worker is not None and worker.current == task_id and \
+            if worker is not None and worker.current == chunk_ids and \
                     epoch == pool._epoch:
                 worker.busy = False
                 worker.current = None
+                pool._observe_cost(
+                    (time.monotonic()  # simlint: disable=SIM101
+                     - worker.dispatched_at) / max(1, len(chunk_ids)))
                 pool._refill(worker, self)
-            if epoch != pool._epoch or task_id in self._done:
-                continue  # stale epoch, or a crash-retry duplicate
-            if kind == "error":
-                raise PoolTaskError(
-                    f"task {self._keys[task_id]!r} failed in pool worker "
-                    f"{worker_id}: {message[4]}\n{message[5]}")
-            yield self._finish(task_id, worker_id, shipped=message[4])
+            if epoch != pool._epoch:
+                continue  # stale epoch: an abandoned run's leftovers
+            pool.obs.emit(POOL_RESULT_BATCH, pool._now(), worker_id,
+                          len(entries))
+            for task_id, payload in entries:
+                if task_id in self._done:
+                    continue  # a crash-retry duplicate
+                if isinstance(payload, tuple):
+                    raise PoolTaskError(
+                        f"task {self._keys[task_id]!r} failed in pool "
+                        f"worker {worker_id}: {payload[1]}\n{payload[2]}")
+                yield self._finish(task_id, worker_id, payload)
         pool.obs.emit(POOL_DRAIN, pool._now(), self.stats.tasks,
                       self.stats.stolen_tasks, self.stats.crashed_workers)
 
     def _finish(self, task_id: int, worker_id: int,
-                shipped: Dict) -> Tuple[object, Dict]:
+                shipped) -> Tuple[object, object]:
         self._done.add(task_id)
         self.stats.tasks += 1
         self.stats.worker_tasks[worker_id] = \
@@ -322,6 +373,11 @@ class _PoolSession:
                 return pool._results.get(timeout=_POLL_SECONDS)
             except Empty:
                 self._reap_crashes()
+                if self._inline:
+                    # Crash recovery just queued inline work; with no
+                    # surviving workers there may never be another
+                    # message, so hand control back to the drain loop.
+                    return None
 
     # -- crash recovery ----------------------------------------------------
 
@@ -330,20 +386,22 @@ class _PoolSession:
         dead = [w for w in pool._workers.values()
                 if not w.process.is_alive()]
         for worker in dead:
-            crashed_task = worker.current if worker.busy else None
+            in_flight = [t for t in (worker.current or ())
+                         if t not in self._done]
             pool.obs.emit(POOL_WORKER_CRASH, pool._now(), worker.id,
-                          -1 if crashed_task is None else crashed_task)
+                          in_flight[0] if in_flight else -1)
             self.stats.crashed_workers += 1
             orphans = list(worker.queue)
             del pool._workers[worker.id]
-            if crashed_task is not None and crashed_task not in self._done:
+            retry: List[int] = []
+            for crashed_task in in_flight:
                 self._crashes[crashed_task] = \
                     self._crashes.get(crashed_task, 0) + 1
                 if self._crashes[crashed_task] >= _MAX_TASK_CRASHES:
-                    self._run_inline(crashed_task)
+                    self._inline.append(crashed_task)
                 else:
-                    orphans.insert(0, crashed_task)
-            self._requeue(orphans)
+                    retry.append(crashed_task)
+            self._requeue(retry + orphans)
 
     def _requeue(self, task_ids: List[int]) -> None:
         """Hand a dead worker's backlog to survivors (or run it inline)."""
@@ -353,11 +411,11 @@ class _PoolSession:
                 continue
             worker = pool._place(self)
             if worker is None:
-                self._run_inline(task_id)
-            elif worker.busy:
-                worker.queue.append(task_id)
-            else:
-                pool._dispatch(worker, task_id, self)
+                self._inline.append(task_id)
+                continue
+            worker.queue.append(task_id)
+            if not worker.busy:
+                pool._refill(worker, self)
 
 
 class WorkerPool:
@@ -377,13 +435,21 @@ class WorkerPool:
     """
 
     def __init__(self, workers: int,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 max_chunk: int = 32) -> None:
         if workers < 1:
             raise ConfigurationError(f"pool workers must be >= 1: {workers}")
+        if max_chunk < 1:
+            raise ConfigurationError(
+                f"pool max_chunk must be >= 1: {max_chunk}")
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
         self.max_workers = workers
+        #: Ceiling on how many tasks ride one queue message.  ``1``
+        #: restores strict per-task dispatch (the pre-batching wire
+        #: behaviour, kept for comparison benchmarks).
+        self.max_chunk = max_chunk
         #: Manager-side lifecycle events (``pool.*`` kinds) are emitted
         #: here; attach sinks to observe boots, steals, and drains.
         self.obs = EventBus()
@@ -394,6 +460,10 @@ class WorkerPool:
         self._workers: Dict[int, _Worker] = {}
         self._next_worker_id = 0
         self._epoch = 0
+        #: EMA of observed seconds per task; None until the first chunk
+        #: completes (cold dispatches stay per-task, so a skewed grid's
+        #: expensive head never drags cheap cells into its chunk).
+        self._task_cost: Optional[float] = None
         self._t0 = time.monotonic()  # simlint: disable=SIM101
         self._closed = False
 
@@ -447,31 +517,66 @@ class WorkerPool:
             return None
         return min(self._workers.values(), key=lambda w: (w.load, w.id))
 
-    # -- dispatch and stealing --------------------------------------------
+    # -- dispatch, chunking, and stealing ---------------------------------
 
-    def _dispatch(self, worker: _Worker, task_id: int,
+    def _chunk_size(self) -> int:
+        """How many tasks the next dispatch should carry.
+
+        Adaptive: grow the chunk until it costs ~``_CHUNK_TARGET_SECONDS``
+        of worker time at the observed per-task cost, clamped to
+        ``max_chunk``.  With no cost observation yet (cold pool, or a
+        per-task ``max_chunk=1`` pool) dispatch stays one task at a time.
+        """
+        cost = self._task_cost
+        if self.max_chunk <= 1 or cost is None:
+            return 1
+        if cost <= 0:
+            return self.max_chunk
+        return max(1, min(self.max_chunk,
+                          int(_CHUNK_TARGET_SECONDS / cost)))
+
+    def _observe_cost(self, seconds_per_task: float) -> None:
+        """Feed one completed chunk's per-task cost into the sizing EMA."""
+        if self._task_cost is None:
+            self._task_cost = seconds_per_task
+        else:
+            self._task_cost += _COST_EMA_ALPHA * (
+                seconds_per_task - self._task_cost)
+
+    def _dispatch(self, worker: _Worker, task_ids: List[int],
                   session: _PoolSession, stolen_from: int = -1) -> None:
         worker.busy = True
-        worker.current = task_id
-        worker.tasks.put((self._epoch, task_id,
-                          session._payloads[task_id]))
+        worker.current = list(task_ids)
+        worker.dispatched_at = time.monotonic()  # simlint: disable=SIM101
+        worker.tasks.put((self._epoch,
+                          [(t, session._payloads[t]) for t in task_ids]))
+        now = self._now()
         if stolen_from >= 0:
-            session.stats.stolen_tasks += 1
-            self.obs.emit(POOL_STEAL, self._now(), worker.id, stolen_from,
-                          task_id)
-        self.obs.emit(POOL_DISPATCH, self._now(), worker.id, task_id)
+            session.stats.stolen_tasks += len(task_ids)
+            for task_id in task_ids:
+                self.obs.emit(POOL_STEAL, now, worker.id, stolen_from,
+                              task_id)
+        for task_id in task_ids:
+            self.obs.emit(POOL_DISPATCH, now, worker.id, task_id)
+        self.obs.emit(POOL_DISPATCH_BATCH, now, worker.id, len(task_ids))
 
     def _refill(self, worker: _Worker, session: _PoolSession) -> None:
-        """Give a now-free worker its next task: own queue, else steal."""
+        """Give a now-free worker its next chunk: own queue, else steal."""
+        size = self._chunk_size()
         if worker.queue:
-            self._dispatch(worker, worker.queue.popleft(), session)
+            chunk = [worker.queue.popleft()
+                     for _ in range(min(size, len(worker.queue)))]
+            self._dispatch(worker, chunk, session)
             return
         victims = [w for w in self._workers.values() if w.queue]
         if not victims:
             return
         victim = max(victims, key=lambda w: (len(w.queue), -w.id))
-        self._dispatch(worker, victim.queue.popleft(), session,
-                       stolen_from=victim.id)
+        # Take at most half the victim's backlog: the victim refills
+        # from its own queue next, so stealing must not starve it.
+        take = max(1, min(size, (len(victim.queue) + 1) // 2))
+        chunk = [victim.queue.popleft() for _ in range(take)]
+        self._dispatch(worker, chunk, session, stolen_from=victim.id)
 
     # -- public execution API ----------------------------------------------
 
@@ -490,10 +595,12 @@ class WorkerPool:
     def run(self, configs: Iterable[PtpBenchmarkConfig],
             keys: Optional[Iterable[object]] = None,
             ) -> Iterator[Tuple[object, Dict]]:
-        """Stream ``(key, shipped_result)`` for each config as it finishes.
+        """Stream ``(key, payload)`` for each config as it finishes.
 
-        ``keys`` defaults to the configs' positions.  The pool-lifetime
-        :attr:`stats` absorb the run's counters when the stream drains.
+        ``payload`` is the shipped wire frame (or fallback dict);
+        rebuild with :func:`result_from_shipped`.  ``keys`` defaults to
+        the configs' positions.  The pool-lifetime :attr:`stats` absorb
+        the run's counters when the stream drains.
         """
         session = self.session()
         configs = list(configs)

@@ -29,6 +29,7 @@ install the buffers.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple, Union
 
@@ -57,19 +58,26 @@ class ExecutionCounter:
     trials, so under ``jobs > 1`` the parent's counter only reflects
     inline (non-pooled) executions; use
     :class:`~repro.core.parallel.SweepStats` for sweep-level accounting.
+
+    Increments are lock-protected: concurrent sweeps sharing one cache
+    (the single-flight tests) drive trials from several threads, and an
+    unguarded ``+= 1`` can lose counts across an interleaving.
     """
 
     def __init__(self) -> None:
         #: Trials run in this process since import (or the last reset).
         self.value = 0
+        self._lock = threading.Lock()
 
     def bump(self) -> None:
         """Record one benchmark trial."""
-        self.value += 1
+        with self._lock:
+            self.value += 1
 
     def reset(self) -> None:
         """Zero the counter (tests isolate their measurements with this)."""
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 #: Module-level trial counter (see :class:`ExecutionCounter`).

@@ -1,0 +1,252 @@
+"""The binary wire codec: one packed frame per shipped result.
+
+Every result that crosses a process or storage boundary — a pool worker
+streaming a finished cell to the manager, the :class:`ResultCache`
+writing an entry to disk — used to travel as a dict of per-sample dicts
+of per-partition lists.  Pickling (or JSON-encoding) that shape builds
+thousands of small Python objects per cell, and per-object overhead is
+exactly the harness cost OMB-Py warns a Python micro-benchmark suite
+about.  This module replaces it with a versioned, struct-packed frame:
+
+``
++------+----+-----+--------+--------+-----------+-----------------+
+| RPWF | v1 | flg | source | trials | n_samples | digest? fault?  |
++------+----+-----+--------+--------+-----------+-----------------+
+| per sample: iteration u32 | message_bytes u64 | partitions u32  |
+|             join f64 | pt2pt f64 | pready[P] f64 | arrival[P] f64|
++----------------------------------------------------------------+
+``
+
+All integers and floats are little-endian; timestamps are IEEE-754
+binary64, which round-trips every Python float *exactly*, so a decoded
+result reproduces its metrics — and its SHA-256 event digest — bit for
+bit.  The four derived metric names (:data:`METRIC_NAMES`) are interned
+here as frame vocabulary rather than serialized per sample: only raw
+timelines cross the boundary, and the decoder recomputes metrics the
+same way a deserializing load does.
+
+The dict shape (:func:`repro.core.pool.ship_result`) remains the
+fallback: :func:`decode_payload` accepts either a binary frame or a
+legacy dict, so mixed-version producers and exotic values degrade to
+the slow path instead of failing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Union
+
+from ..errors import ReproError
+from ..faults import FaultOutcome
+from ..metrics import PartitionTimeline, PtpMetrics
+from .config import PtpBenchmarkConfig
+from .runner import PtpResult, PtpSample
+
+__all__ = ["WIRE_VERSION", "WIRE_MAGIC", "METRIC_NAMES", "WireError",
+           "encode_result", "decode_result", "decode_payload",
+           "is_wire_frame"]
+
+#: Bumped on any incompatible change to the frame layout; the decoder
+#: rejects frames from a different version (callers treat that as a
+#: cache miss or fall back to the dict path).
+WIRE_VERSION = 1
+
+#: First four bytes of every frame.
+WIRE_MAGIC = b"RPWF"
+
+#: The interned metric vocabulary of the frame.  Metrics are *derived*:
+#: only raw timelines are packed, and the decoder recomputes these four
+#: via :meth:`PtpMetrics.from_timeline`, so the names live here once
+#: instead of riding every sample.
+METRIC_NAMES = ("overhead", "perceived_bandwidth",
+                "application_availability", "early_bird_fraction")
+
+#: Interned ``source`` values (index = wire byte).  Unknown sources are
+#: carried verbatim as a length-prefixed string.
+_SOURCES = ("des", "analytic")
+_SOURCE_INLINE = 0xFF
+
+# Header flag bits.
+_FLAG_DIGEST_SHA256 = 0x01   # digest present as raw 32 bytes (hex sha256)
+_FLAG_DIGEST_STRING = 0x02   # digest present as length-prefixed UTF-8
+_FLAG_FAULT_OUTCOME = 0x04
+
+_HEADER = struct.Struct("<4sBBBxII")        # magic, ver, flags, source,
+                                            # pad, trials, n_samples
+_SAMPLE = struct.Struct("<IQIdd")           # iteration, bytes, partitions,
+                                            # join, pt2pt
+_FAULT = struct.Struct("<B7IH")             # delivered, 7 counters,
+                                            # reason length
+
+
+class WireError(ReproError):
+    """A frame could not be encoded or decoded (corrupt, wrong version)."""
+
+
+def is_wire_frame(payload: Union[bytes, bytearray, memoryview, Dict]) -> bool:
+    """Whether ``payload`` looks like a binary frame (vs a fallback dict)."""
+    return (isinstance(payload, (bytes, bytearray, memoryview))
+            and bytes(payload[:4]) == WIRE_MAGIC)
+
+
+def encode_result(result: PtpResult) -> bytes:
+    """Pack one result into a binary frame.
+
+    Only the boundary-crossing state is packed — raw timelines, the
+    event digest, trial count, provenance, and any fault outcome; the
+    config is deliberately *not* part of the frame (the receiver always
+    holds the live config the frame answers).
+    """
+    flags = 0
+    digest_piece = b""
+    digest = result.event_digest
+    if digest is not None:
+        try:
+            raw = bytes.fromhex(digest)
+        except (ValueError, TypeError):
+            raw = None
+        if raw is not None and len(raw) == 32:
+            flags |= _FLAG_DIGEST_SHA256
+            digest_piece = raw
+        else:
+            encoded = str(digest).encode("utf-8")
+            if len(encoded) > 0xFFFF:
+                raise WireError("event digest too long for a wire frame")
+            flags |= _FLAG_DIGEST_STRING
+            digest_piece = struct.pack("<H", len(encoded)) + encoded
+    fault_piece = b""
+    outcome = result.fault_outcome
+    if outcome is not None:
+        flags |= _FLAG_FAULT_OUTCOME
+        reason = outcome.reason.encode("utf-8")
+        if len(reason) > 0xFFFF:
+            raise WireError("fault reason too long for a wire frame")
+        fault_piece = _FAULT.pack(
+            1 if outcome.delivered else 0, outcome.drops,
+            outcome.retransmits, outcome.duplicates, outcome.acks,
+            outcome.abandoned, outcome.stalls, outcome.fail_stops,
+            len(reason)) + reason
+    try:
+        source_idx = _SOURCES.index(result.source)
+        source_piece = b""
+    except ValueError:
+        source_idx = _SOURCE_INLINE
+        encoded = str(result.source).encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise WireError("source tag too long for a wire frame")
+        source_piece = struct.pack("<H", len(encoded)) + encoded
+    trials = result.trials
+    n_samples = len(result.samples)
+    if not 0 <= trials <= 0xFFFFFFFF or n_samples > 0xFFFFFFFF:
+        raise WireError("trial/sample count out of frame range")
+
+    pieces = [_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, flags, source_idx,
+                           trials, n_samples),
+              source_piece, digest_piece, fault_piece]
+    for sample in result.samples:
+        timeline = sample.timeline
+        p = len(timeline.pready_times)
+        if len(timeline.arrival_times) != p:
+            raise WireError("ragged timeline cannot be framed")
+        pieces.append(_SAMPLE.pack(
+            sample.iteration, timeline.message_bytes, p,
+            timeline.join_time, timeline.pt2pt_time))
+        pieces.append(struct.pack(f"<{2 * p}d", *timeline.pready_times,
+                                  *timeline.arrival_times))
+    return b"".join(pieces)
+
+
+def decode_result(config: PtpBenchmarkConfig,
+                  frame: Union[bytes, bytearray, memoryview]) -> PtpResult:
+    """Rebuild a :class:`PtpResult` from a frame, under a live config.
+
+    Timelines are unpacked exactly (binary64 round trip) and metrics
+    recomputed, so the result is indistinguishable from the one that was
+    encoded — the golden-digest tests pin this bit for bit.
+    """
+    view = memoryview(bytes(frame))
+    try:
+        magic, version, flags, source_idx, trials, n_samples = \
+            _HEADER.unpack_from(view, 0)
+    except struct.error as exc:
+        raise WireError(f"truncated wire frame: {exc}")
+    if magic != WIRE_MAGIC:
+        raise WireError("not a wire frame (bad magic)")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire frame version {version} (this build reads "
+            f"{WIRE_VERSION})")
+    offset = _HEADER.size
+    try:
+        if source_idx == _SOURCE_INLINE:
+            (length,) = struct.unpack_from("<H", view, offset)
+            offset += 2
+            source = bytes(view[offset:offset + length]).decode("utf-8")
+            offset += length
+        else:
+            source = _SOURCES[source_idx]
+        digest = None
+        if flags & _FLAG_DIGEST_SHA256:
+            digest = bytes(view[offset:offset + 32]).hex()
+            if len(digest) != 64:
+                raise WireError("truncated digest in wire frame")
+            offset += 32
+        elif flags & _FLAG_DIGEST_STRING:
+            (length,) = struct.unpack_from("<H", view, offset)
+            offset += 2
+            digest = bytes(view[offset:offset + length]).decode("utf-8")
+            offset += length
+        outcome = None
+        if flags & _FLAG_FAULT_OUTCOME:
+            unpacked = _FAULT.unpack_from(view, offset)
+            offset += _FAULT.size
+            reason_len = unpacked[8]
+            reason = bytes(
+                view[offset:offset + reason_len]).decode("utf-8")
+            offset += reason_len
+            outcome = FaultOutcome(
+                delivered=bool(unpacked[0]), drops=unpacked[1],
+                retransmits=unpacked[2], duplicates=unpacked[3],
+                acks=unpacked[4], abandoned=unpacked[5],
+                stalls=unpacked[6], fail_stops=unpacked[7],
+                reason=reason)
+        result = PtpResult(config=config, event_digest=digest,
+                           fault_outcome=outcome, source=source,
+                           trials=trials)
+        for _ in range(n_samples):
+            iteration, message_bytes, p, join_time, pt2pt_time = \
+                _SAMPLE.unpack_from(view, offset)
+            offset += _SAMPLE.size
+            times = struct.unpack_from(f"<{2 * p}d", view, offset)
+            offset += 16 * p
+            timeline = PartitionTimeline(
+                message_bytes=message_bytes,
+                pready_times=list(times[:p]),
+                arrival_times=list(times[p:]),
+                join_time=join_time,
+                pt2pt_time=pt2pt_time)
+            result.samples.append(PtpSample(
+                iteration=iteration, timeline=timeline,
+                metrics=PtpMetrics.from_timeline(timeline)))
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise WireError(f"corrupt wire frame: {exc}")
+    if offset != len(view):
+        raise WireError(
+            f"wire frame has {len(view) - offset} trailing byte(s)")
+    return result
+
+
+def decode_payload(config: PtpBenchmarkConfig,
+                   payload: Union[bytes, bytearray, memoryview, Dict],
+                   ) -> PtpResult:
+    """Rebuild a result from either a binary frame or a fallback dict.
+
+    This is the single entry point consumers use (pool manager, cache
+    reads): binary when the producer could frame the result, the
+    dict-of-lists shape otherwise.
+    """
+    if is_wire_frame(payload):
+        return decode_result(config, payload)
+    # Imported lazily: pool imports this module for encoding.
+    from .pool import result_from_shipped
+    return result_from_shipped(config, payload)

@@ -131,6 +131,25 @@ class AdaptiveTrialPlanner:
             seed=derive_cell_seed(config.seed, config.message_bytes,
                                   config.partitions, trial=trial))
 
+    def trial_configs(self, config: "PtpBenchmarkConfig", start: int,
+                      count: int) -> List["PtpBenchmarkConfig"]:
+        """The reseeded configs for trials ``start .. start+count-1``.
+
+        The batch counterpart of :meth:`trial_config`: one seed-derivation
+        pass for a whole dispatch batch, which is how the pool's batched
+        dispatcher submits follow-up trial chunks in one go.
+        """
+        from ..core.parallel import derive_cell_seed
+        configs: List["PtpBenchmarkConfig"] = []
+        for trial in range(start, start + count):
+            if trial == 0:
+                configs.append(config)
+            else:
+                configs.append(config.with_overrides(
+                    seed=derive_cell_seed(config.seed, config.message_bytes,
+                                          config.partitions, trial=trial)))
+        return configs
+
     def plan_next(self, config: "PtpBenchmarkConfig",
                   results: List["PtpResult"]) -> int:
         """How many more trials to run, given the completed ones.

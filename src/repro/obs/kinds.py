@@ -61,7 +61,8 @@ __all__ = [
     "BENCH_SEND_BEGIN", "BENCH_RECV_COMPLETE",
     "FAULT_DROP", "FAULT_STALL", "FAULT_DEGRADE", "FAULT_DUPLICATE",
     "FAULT_FAILSTOP", "RETRY_RETRANSMIT", "RETRY_ACK", "RETRY_ABANDONED",
-    "POOL_WORKER_BOOT", "POOL_DISPATCH", "POOL_RESULT", "POOL_STEAL",
+    "POOL_WORKER_BOOT", "POOL_DISPATCH", "POOL_RESULT",
+    "POOL_DISPATCH_BATCH", "POOL_RESULT_BATCH", "POOL_STEAL",
     "POOL_WORKER_CRASH", "POOL_DRAIN",
 ]
 
@@ -213,6 +214,14 @@ POOL_DISPATCH = SCHEMA.register(
 POOL_RESULT = SCHEMA.register(
     "pool.result", ("worker", "task"),
     doc="one task's streamed result reached the manager")
+POOL_DISPATCH_BATCH = SCHEMA.register(
+    "pool.dispatch_batch", ("worker", "tasks"),
+    doc="the manager handed one chunk of tasks to a worker in a single "
+        "queue message (batched dispatch)")
+POOL_RESULT_BATCH = SCHEMA.register(
+    "pool.result_batch", ("worker", "tasks"),
+    doc="one chunk's worth of streamed results reached the manager in a "
+        "single queue message")
 POOL_STEAL = SCHEMA.register(
     "pool.steal", ("thief", "victim", "task"),
     doc="an idle worker stole a queued task from a loaded peer")

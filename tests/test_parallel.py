@@ -1,6 +1,9 @@
 """The parallel sweep engine and the content-addressed result cache."""
 
 import json
+import struct
+import threading
+import time
 
 import pytest
 
@@ -182,9 +185,22 @@ class TestResultCache:
         config = plan_cells(_base(), [1024], [1])[0]
         cache.put(config, run_ptp_benchmark(config))
         path = cache._path(config_fingerprint(config))
-        data = json.loads(path.read_text())
-        data["schema"] = CACHE_SCHEMA_VERSION + 1
-        path.write_text(json.dumps(data))
+        blob = bytearray(path.read_bytes())
+        # The envelope is ``<4sHH``: magic, schema, label length.  Patch
+        # the schema halfword to a future version; the entry must read
+        # as a miss, never as a crash.
+        blob[4:6] = struct.pack("<H", CACHE_SCHEMA_VERSION + 1)
+        path.write_bytes(bytes(blob))
+        assert cache.get(config) is None
+        assert cache.misses == 1
+
+    def test_corrupt_envelope_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        cache.put(config, run_ptp_benchmark(config))
+        path = cache._path(config_fingerprint(config))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])  # truncated frame
         assert cache.get(config) is None
         assert cache.misses == 1
 
@@ -266,6 +282,205 @@ class TestMemoryTier:
         cache.get(config)
         cache.clear()
         assert cache.get(config) is None
+
+
+class TestCacheCounters:
+    def test_clear_resets_counters_with_the_store(self, tmp_path):
+        # Regression: clear() used to leave hit/miss history describing
+        # entries that no longer existed.
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        assert cache.get(config) is None          # miss
+        cache.put(config, run_ptp_benchmark(config))
+        cache.get(config)                         # disk hit
+        cache.get(config)                         # memory hit
+        assert (cache.hits, cache.misses, cache.stores,
+                cache.memory_hits) == (2, 1, 1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.stores,
+                cache.memory_hits, cache.singleflight_hits) == \
+            (0, 0, 0, 0, 0)
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "stores": 0,
+            "memory_hits": 0, "singleflight_hits": 0,
+            "memory_entries": 0, "inflight": 0}
+
+    def test_stats_snapshot_and_describe(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        cache.put(config, run_ptp_benchmark(config))
+        cache.get(config)
+        cache.get(config)
+        s = cache.stats()
+        assert s["entries"] == 1
+        assert s["hits"] == 2
+        assert s["memory_hits"] == 1
+        assert s["stores"] == 1
+        assert s["memory_entries"] == 1
+        line = cache.describe()
+        assert "1 entry(ies)" in line
+        assert "2 hits (1 memory)" in line
+        assert "single-flight" not in line  # only shown when nonzero
+
+
+# ---------------------------------------------------------------------------
+# Single-flight: identical uncached cells execute exactly once
+# ---------------------------------------------------------------------------
+
+class TestSingleFlight:
+    def test_duplicate_cells_in_one_grid_execute_once(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(seed=4), [1024], [1])[0]
+        cells = [config] * 5
+        EXECUTIONS.reset()
+        results, stats = run_cells(cells, jobs=1, cache=cache)
+        assert EXECUTIONS.value == 1
+        assert stats.executed == 1
+        assert stats.singleflight_hits == len(cells) - 1
+        assert all(r.event_digest == results[0].event_digest
+                   for r in results)
+        assert results[0].event_digest is not None
+        assert "4 single-flight" in stats.describe()
+
+    def test_duplicates_collapse_without_a_cache(self):
+        config = plan_cells(_base(seed=4), [1024], [1])[0]
+        EXECUTIONS.reset()
+        results, stats = run_cells([config] * 3, jobs=1)
+        assert EXECUTIONS.value == 1
+        assert stats.singleflight_hits == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_claim_join_and_abandon(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        fingerprint = config_fingerprint(config)
+        assert cache.claim(fingerprint) is None     # first caller leads
+        flight = cache.claim(fingerprint)
+        assert flight is not None                   # second caller joins
+        result = run_ptp_benchmark(config)
+        cache.put(config, result)                   # leader publishes
+        joined = cache.join(flight, config, timeout=5.0)
+        assert joined is not None
+        assert joined.event_digest == result.event_digest
+        assert cache.singleflight_hits == 1
+        # A fresh claim after put leads again (the flight is gone).
+        assert cache.claim(fingerprint) is None
+        follower = cache.claim(fingerprint)
+        cache.abandon(fingerprint)                  # leader gives up
+        assert cache.join(follower, config, timeout=5.0) is None
+
+    def test_concurrent_sweeps_share_one_execution(self, tmp_path):
+        """Two sweeps, two pools, one cache: each cell executes once."""
+        from repro.core import WorkerPool
+
+        cells = plan_cells(_base(seed=9), SIZES, COUNTS)
+        serial, _ = run_cells(cells, jobs=1)
+        cache = ResultCache(tmp_path / "cache")
+        pools = {"lead": WorkerPool(2), "follow": WorkerPool(2)}
+        outputs = {}
+
+        def follow():
+            # Enter only once the lead sweep holds every claim, so each
+            # of this sweep's cells deterministically joins an in-flight
+            # computation rather than racing the claim.
+            deadline = time.monotonic() + 60.0
+            while len(cache._inflight) < len(cells):
+                assert time.monotonic() < deadline, "lead never claimed"
+                time.sleep(0.001)
+            outputs["follow"] = run_cells(cells, jobs=2, cache=cache,
+                                          pool=pools["follow"])
+
+        try:
+            follower = threading.Thread(target=follow)
+            follower.start()
+            outputs["lead"] = run_cells(cells, jobs=2, cache=cache,
+                                        pool=pools["lead"])
+            follower.join(timeout=120.0)
+            assert not follower.is_alive()
+        finally:
+            for p in pools.values():
+                p.shutdown()
+
+        lead_results, lead_stats = outputs["lead"]
+        follow_results, follow_stats = outputs["follow"]
+        # Between them the sweeps executed each unique cell exactly once.
+        assert lead_stats.executed == len(cells)
+        assert follow_stats.executed == 0
+        assert follow_stats.singleflight_hits + follow_stats.cache_hits \
+            == len(cells)
+        assert cache.stats()["inflight"] == 0
+        for got in (lead_results, follow_results):
+            assert [r.event_digest for r in got] == \
+                [r.event_digest for r in serial]
+
+
+# ---------------------------------------------------------------------------
+# v4 -> v5 cache migration
+# ---------------------------------------------------------------------------
+
+class TestCacheMigration:
+    @staticmethod
+    def _legacy_record(root, config, result, sharded):
+        """Hand-write a v4 JSON record exactly as PR 8's put() did."""
+        from repro.core.persistence import result_to_dict
+        fingerprint = config_fingerprint(config)
+        payload = {"schema": 4, "fingerprint": fingerprint,
+                   "label": config.label(),
+                   "result": result_to_dict(result)}
+        if sharded:
+            path = root / fingerprint[:2] / f"{fingerprint}.json"
+        else:
+            path = root / f"{fingerprint}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_migrates_flat_and_sharded_v4_layouts(self, tmp_path):
+        root = tmp_path / "cache"
+        cells = plan_cells(_base(seed=3), SIZES, COUNTS)
+        fresh = [run_ptp_benchmark(c) for c in cells]
+        old_paths = [self._legacy_record(root, config, result,
+                                         sharded=i % 2 == 0)
+                     for i, (config, result) in
+                     enumerate(zip(cells, fresh))]
+        cache = ResultCache(root)
+        assert len(cache) == 0            # v4 entries invisible to v5
+        assert cache.migrate() == len(cells)
+        assert len(cache) == len(cells)
+        for path in old_paths:
+            assert not path.exists()      # originals removed
+
+        # Every migrated fingerprint resolves with zero recomputation.
+        EXECUTIONS.reset()
+        again, stats = run_cells(cells, jobs=1, cache=cache)
+        assert EXECUTIONS.value == 0
+        assert stats.executed == 0
+        assert stats.cache_hits == len(cells)
+        for a, b in zip(again, fresh):
+            assert a.event_digest == b.event_digest
+            assert [s.timeline for s in a.samples] == \
+                [s.timeline for s in b.samples]
+
+    def test_migrate_skips_foreign_and_older_records(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir(parents=True)
+        (root / "junk.json").write_text("{not json")
+        (root / "old.json").write_text(json.dumps(
+            {"schema": 3, "fingerprint": "ab" * 32, "result": {}}))
+        cache = ResultCache(root)
+        assert cache.migrate() == 0
+        assert (root / "junk.json").exists()   # left untouched
+        assert (root / "old.json").exists()
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        root = tmp_path / "cache"
+        config = plan_cells(_base(seed=3), [1024], [1])[0]
+        self._legacy_record(root, config, run_ptp_benchmark(config),
+                            sharded=True)
+        cache = ResultCache(root)
+        assert cache.migrate() == 1
+        assert cache.migrate() == 0        # nothing left to upgrade
+        assert cache.get(config) is not None
 
 
 class TestFingerprintMemoization:

@@ -206,7 +206,7 @@ class TestCrashRecovery:
         # ignores any stale leftovers and fresh work still completes.
         config = plan_cells(_base(seed=8), [1024], [1])[0]
         (key, shipped), = pool.run([config])
-        assert shipped["event_digest"] == \
+        assert result_from_shipped(config, shipped).event_digest == \
             run_ptp_benchmark(config).event_digest
 
 
@@ -251,5 +251,78 @@ class TestPoolRunStats:
         kinds = {rec.kind.name for rec in sink.records}
         assert "pool.worker_boot" in kinds
         assert "pool.dispatch" in kinds
+        assert "pool.dispatch_batch" in kinds
         assert "pool.result" in kinds
+        assert "pool.result_batch" in kinds
         assert "pool.drain" in kinds
+
+
+# ---------------------------------------------------------------------------
+# Batched dispatch
+# ---------------------------------------------------------------------------
+
+class TestBatchedDispatch:
+    def test_warm_pool_batches_and_matches_serial(self, pool):
+        # The first run observes per-task cost; the second runs with a
+        # calibrated chunk size.  Digests must match serial either way.
+        cells = plan_cells(_base(seed=13, noise=UniformNoise(4.0)),
+                           SIZES, COUNTS)
+        serial, _ = run_cells(cells, jobs=1)
+        cold, _ = run_cells(cells, jobs=2, pool=pool)
+        warm, _ = run_cells(cells, jobs=2, pool=pool)
+        assert _digests(cold) == _digests(serial)
+        assert _digests(warm) == _digests(serial)
+        assert pool._task_cost is not None  # the EMA is being fed
+
+    def test_chunk_size_tracks_observed_cost(self):
+        p = WorkerPool(2, max_chunk=32)
+        try:
+            assert p._chunk_size() == 1          # cold: per-task dispatch
+            p._observe_cost(1e-4)                # cheap tasks -> big chunks
+            assert p._chunk_size() == 32
+            p._observe_cost(10.0)                # expensive -> per-task
+            assert p._chunk_size() == 1
+        finally:
+            p.shutdown()
+
+    def test_max_chunk_one_restores_per_task_dispatch(self):
+        p = WorkerPool(2, max_chunk=1)
+        try:
+            p._observe_cost(1e-6)
+            assert p._chunk_size() == 1
+            cells = plan_cells(_base(seed=13), [1024], COUNTS)
+            serial, _ = run_cells(cells, jobs=1)
+            per_task, _ = run_cells(cells, jobs=2, pool=p)
+            assert _digests(per_task) == _digests(serial)
+        finally:
+            p.shutdown()
+
+    def test_invalid_max_chunk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(2, max_chunk=0)
+
+
+# ---------------------------------------------------------------------------
+# Deferred inline fallback (regression: eager execution at submit time)
+# ---------------------------------------------------------------------------
+
+class TestDeferredInlineFallback:
+    def test_inline_fallback_defers_execution_to_drain(self):
+        from repro.core.runner import EXECUTIONS
+        p = WorkerPool(1)
+        try:
+            p.max_workers = 0  # no worker can ever spawn
+            config = plan_cells(_base(seed=8), [1024], [1])[0]
+            session = p.session()
+            EXECUTIONS.reset()
+            session.submit("cell", config)
+            # submit() must only *queue* the task; a crash-degraded
+            # manager does no simulation work until the drain loop runs.
+            assert EXECUTIONS.value == 0
+            drained = dict(session.results())
+            assert EXECUTIONS.value == 1
+            assert session.stats.inline_tasks == 1
+            assert result_from_shipped(config, drained["cell"]) \
+                .event_digest == run_ptp_benchmark(config).event_digest
+        finally:
+            p.shutdown()

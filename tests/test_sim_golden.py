@@ -59,6 +59,7 @@ def test_golden_digests_via_worker_pool():
     even if the simulator itself is untouched.
     """
     from repro.core import WorkerPool
+    from repro.core.pool import result_from_shipped
 
     configs = [PtpBenchmarkConfig(**kwargs) for kwargs, _ in GOLDEN]
     pool = WorkerPool(2)
@@ -66,5 +67,6 @@ def test_golden_digests_via_worker_pool():
         got = dict(pool.run(configs))
     finally:
         pool.shutdown()
-    assert [got[i]["event_digest"] for i in range(len(GOLDEN))] == \
+    assert [result_from_shipped(configs[i], got[i]).event_digest
+            for i in range(len(GOLDEN))] == \
         [expected for _, expected in GOLDEN]
