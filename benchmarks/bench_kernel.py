@@ -337,3 +337,33 @@ def test_pool_warm_vs_cold_sweep(benchmark):
         assert benchmark(run) == (4, 4)
     finally:
         pool.shutdown()
+
+
+def test_service_hot_request(benchmark, tmp_path):
+    """One already-cached trial request through a live sweep daemon.
+
+    Mirrors the ``service_hot_request`` guard kernel: the service's
+    whole hot path — HTTP round-trip, strict validation, quota
+    admission, scheduler dispatch, memory-tier cache hit — for a config
+    the daemon has already answered.  No simulation runs.
+    """
+    from repro.core import ResultCache
+    from repro.service import (ServiceClient, SweepScheduler,
+                               payload_from_config, serve)
+
+    config, result = _ship_fixture()
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(config, result)
+    scheduler = SweepScheduler(cache=cache, jobs=1, quota=1 << 16,
+                               batch_window=0.0, dispatchers=1)
+    service = serve(scheduler, port=0)
+    client = ServiceClient("http://%s:%d" % service.address,
+                           client_id="bench")
+    payload = payload_from_config(config)
+    try:
+        def run():
+            return client.trial(payload)["n_samples"]
+
+        assert benchmark(run) == len(result.samples)
+    finally:
+        service.stop()

@@ -378,6 +378,49 @@ def pool_pertask_sweep64():
     return len(results)
 
 
+#: Fixture behind the service kernel: a live daemon on an ephemeral
+#: loopback port with the ship-fixture result pre-cached, plus a client
+#: and the request payload addressing it.
+_SERVICE_FIXTURE = None
+
+
+def _service_fixture():
+    global _SERVICE_FIXTURE
+    if _SERVICE_FIXTURE is None:
+        import tempfile
+        from repro.core import ResultCache
+        from repro.service import (ServiceClient, SweepScheduler,
+                                   payload_from_config, serve)
+        config, result = _ship_fixture()
+        root = tempfile.mkdtemp(prefix="repro-bench-service-")
+        cache = ResultCache(root)
+        cache.put(config, result)
+        # batch_window=0 so the kernel times the request path, not the
+        # straggler-collection window.
+        scheduler = SweepScheduler(cache=cache, jobs=1, quota=1 << 16,
+                                   batch_window=0.0, dispatchers=1)
+        service = serve(scheduler, port=0)
+        client = ServiceClient("http://%s:%d" % service.address,
+                               client_id="bench")
+        _SERVICE_FIXTURE = (client, payload_from_config(config))
+    return _SERVICE_FIXTURE
+
+
+def service_hot_request():
+    """25 already-cached trial requests through the live daemon.
+
+    The sweep service's hot path end to end: HTTP round-trip, strict
+    request validation, quota admission, scheduler dispatch, and a
+    memory-tier cache hit — the cost a client pays for a config the
+    daemon has already answered.  No simulation runs.
+    """
+    client, payload = _service_fixture()
+    n = 0
+    for _ in range(25):
+        n += client.trial(payload)["n_samples"]
+    return n
+
+
 def _build_sweep():
     sizes = [64 * 4 ** k for k in range(10)]
     counts = [1, 2, 4, 8, 16, 32]
@@ -481,6 +524,7 @@ KERNELS = {
     "cache_flat_get": cache_flat_get,
     "pool_batched_sweep64": pool_batched_sweep64,
     "pool_pertask_sweep64": pool_pertask_sweep64,
+    "service_hot_request": service_hot_request,
     "sweep_point_lookup": sweep_point_lookup,
     "obs_emission_disabled": obs_emission_disabled,
     "obs_emission_counted": obs_emission_counted,

@@ -645,6 +645,40 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="adaptive trials: upper bound per cell (default 20)")
 
 
+def _cmd_serve(args) -> int:
+    """Run the benchmark daemon in the foreground until interrupted.
+
+    One process holds the warm pool and the shared cache; clients talk
+    HTTP/JSON (see ``docs/service.md``).  The bound address is printed
+    on stdout before serving — with ``--port 0`` that line is how a
+    supervisor (or ``scripts/load_test.py --boot``) learns the port.
+    """
+    # Imported here: the service package is only needed by this command.
+    from .service import SweepScheduler, SweepService
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    pool = shared_pool(jobs) if jobs > 1 else None
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    scheduler = SweepScheduler(
+        pool=pool, cache=cache, jobs=jobs, analytic=args.analytic,
+        quota=args.quota, batch_window=args.batch_window,
+        max_batch=args.max_batch, dispatchers=args.dispatchers)
+    service = SweepService(scheduler, host=args.host, port=args.port,
+                           request_timeout=args.request_timeout,
+                           verbose=args.verbose)
+    host, port = service.address
+    print(f"repro service: http://{host}:{port} "
+          f"(jobs={jobs}, quota={args.quota}, "
+          f"cache={'on' if cache is not None else 'off'})", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -745,6 +779,44 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--iterations", type=int, default=3)
     a.add_argument("--seed", type=int, default=0)
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the benchmark daemon (HTTP/JSON over the warm pool)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: loopback only)")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="listen port; 0 binds an ephemeral port and "
+                         "prints it")
+    sv.add_argument(
+        "--jobs", type=int, default=os.cpu_count(), metavar="N",
+        help="worker processes behind the daemon (default: all cores)")
+    sv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result cache: repeated and concurrent requests for "
+             "one fingerprint execute once")
+    sv.add_argument(
+        "--analytic", default="off", choices=list(ANALYTIC_MODES),
+        help="closed-form fast path for deterministic cells")
+    sv.add_argument(
+        "--quota", type=int, default=16, metavar="N",
+        help="per-client in-flight request ceiling; excess requests "
+             "are rejected with a 429 (default 16)")
+    sv.add_argument(
+        "--batch-window", type=float, default=0.005, metavar="SECONDS",
+        help="how long a dispatcher waits for more requests before "
+             "cutting a batch (default 0.005)")
+    sv.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="requests per dispatched batch at most (default 64)")
+    sv.add_argument(
+        "--dispatchers", type=int, default=2, metavar="N",
+        help="dispatcher threads feeding the engine (default 2)")
+    sv.add_argument(
+        "--request-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-request wall-clock ceiling before a 504 (default 300)")
+    sv.add_argument("--verbose", action="store_true",
+                    help="log every HTTP request to stderr")
+
     lint = sub.add_parser(
         "lint", help="static determinism/sim-API linter (simlint)")
     lint.add_argument("paths", nargs="+",
@@ -793,6 +865,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_advisor(args))
     elif args.command == "faults":
         print(_cmd_faults(args))
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "lint":
         return _cmd_lint(args)
     elif args.command == "check":

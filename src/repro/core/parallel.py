@@ -49,8 +49,17 @@ from .runner import PtpResult, run_ptp_benchmark
 from .wire import WireError, decode_result, encode_result
 
 __all__ = ["CACHE_SCHEMA_VERSION", "FINGERPRINT_VERSION", "ANALYTIC_MODES",
-           "SweepStats", "ResultCache", "config_fingerprint",
-           "derive_cell_seed", "plan_cells", "run_cells"]
+           "JOIN_TIMEOUT_SECONDS", "SweepStats", "ResultCache",
+           "config_fingerprint", "derive_cell_seed", "plan_cells",
+           "run_cells"]
+
+#: Default bound on how long a single-flight joiner waits for another
+#: caller's in-flight computation before falling back to computing the
+#: cell itself.  A leader that dies without reaching ``put`` *or*
+#: ``abandon`` (a killed thread, a hard-crashed process) would otherwise
+#: park every joiner forever; generous enough that no legitimate cell —
+#: even a full-grid faulty one — comes close.
+JOIN_TIMEOUT_SECONDS = 120.0
 
 #: Bumped whenever cached entries become unreadable by newer code (layout
 #: changes).  Old entries are simply treated as misses (or upgraded by
@@ -356,11 +365,16 @@ class ResultCache:
             return flight
 
     def join(self, flight: _Flight, config: PtpBenchmarkConfig,
-             timeout: Optional[float] = None) -> Optional[PtpResult]:
+             timeout: Optional[float] = JOIN_TIMEOUT_SECONDS,
+             ) -> Optional[PtpResult]:
         """Wait for a claimed computation and share its result.
 
         Returns None if the leader abandoned (or ``timeout`` expired) —
-        the caller should then compute the cell itself.
+        the caller should then compute the cell itself.  The default
+        timeout is bounded (:data:`JOIN_TIMEOUT_SECONDS`): a leader that
+        dies without reaching :meth:`put` or :meth:`abandon` must not
+        park joiners forever.  Pass ``None`` only when the caller has
+        its own liveness guarantee for the leader.
         """
         if not flight.event.wait(timeout):
             return None
@@ -386,10 +400,18 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.bin"))
 
     def stats(self) -> Dict[str, int]:
-        """Snapshot of the counters plus the on-disk entry count."""
+        """Snapshot of the counters plus the on-disk entry count.
+
+        The counters are snapshotted atomically under the lock; the
+        on-disk entry count — a glob over the whole shard tree — is
+        taken *after* the lock is released.  Holding the lock across
+        that filesystem walk would stall every concurrent ``put``,
+        ``claim``, and memory-tier ``get`` behind disk latency, which a
+        many-client service polling ``/stats`` would turn into a
+        periodic whole-cache convoy.
+        """
         with self._lock:
-            return {
-                "entries": len(self),
+            snapshot = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "stores": self.stores,
@@ -398,6 +420,8 @@ class ResultCache:
                 "memory_entries": len(self._memory),
                 "inflight": len(self._inflight),
             }
+        snapshot["entries"] = len(self)
+        return snapshot
 
     def describe(self) -> str:
         """One-line cache summary for reports and the CLI."""
@@ -630,6 +654,7 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
               analytic: str = "off",
               planner=None,
               pool: Optional[WorkerPool] = None,
+              join_timeout: Optional[float] = JOIN_TIMEOUT_SECONDS,
               ) -> Tuple[List[PtpResult], SweepStats]:
     """Produce one result per cell, in order; the engine behind sweeps.
 
@@ -668,6 +693,12 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
         spawns a transient pool sized ``min(jobs, pending cells)`` when
         ``jobs > 1`` needs one, and shuts it down afterwards.  Results
         are bit-identical in every mode.
+    join_timeout:
+        Bound (seconds) on waiting for a *concurrent* sweep's in-flight
+        computation of an identical cell before giving up and computing
+        it here (default :data:`JOIN_TIMEOUT_SECONDS`).  ``None`` waits
+        forever — only safe when every possible leader is known to
+        reach ``put`` or ``abandon``.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
@@ -767,9 +798,12 @@ def run_cells(cells: Sequence[PtpBenchmarkConfig],
         # leader's (immutable-sample) result is shared as-is.
         results[i] = results[claimed[fingerprint]]
     for i, config, flight, fingerprint in joiners:
-        joined = cache.join(flight, config)
+        joined = cache.join(flight, config, timeout=join_timeout)
         if joined is None:
-            # The concurrent leader abandoned: compute the cell here.
+            # The concurrent leader abandoned (or died without ever
+            # publishing, and the bounded join expired): compute the
+            # cell here.  The put below pops any stale flight and wakes
+            # its remaining joiners with this result.
             joined = _run_des_cell(config, planner)
             stats.executed += 1
             stats.trials += joined.trials

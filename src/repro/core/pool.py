@@ -378,6 +378,22 @@ class _PoolSession:
                     # surviving workers there may never be another
                     # message, so hand control back to the drain loop.
                     return None
+            except (OSError, ValueError):
+                # The pool was shut down under this run (the result
+                # queue is closed).  shutdown() already joined the
+                # workers, cleared the registry, and drained any
+                # results they had shipped, so crash reaping cannot see
+                # them: fold every not-yet-done task into the inline
+                # queue ourselves and let the drain loop complete the
+                # sweep in the manager — the caller still gets every
+                # result, and cache claims are released by the normal
+                # put path.
+                queued = set(self._inline)
+                for task_id in self._payloads:
+                    if task_id not in self._done and \
+                            task_id not in queued:
+                        self._inline.append(task_id)
+                return None
 
     # -- crash recovery ----------------------------------------------------
 
@@ -619,24 +635,57 @@ class WorkerPool:
 
     # -- shutdown ----------------------------------------------------------
 
-    def shutdown(self, join_seconds: float = 2.0) -> None:
-        """Stop every worker (idempotent): sentinel, join, then terminate."""
+    def shutdown(self, join_seconds: float = 2.0) -> int:
+        """Stop every worker (idempotent): sentinel, join, then terminate.
+
+        Beyond stopping the processes, shutdown *drains and closes* the
+        queue plumbing: every worker's task queue (both pipe ends held
+        by the manager) and the shared result queue, whose stale
+        messages are consumed before ``close()``/``join_thread()``.
+        Without this, each pool left a pair of pipe fds per worker plus
+        the result queue's buffer thread behind — a real leak
+        (``ResourceWarning`` under ``-X dev``) once a long-running
+        service starts and stops pools repeatedly.  Returns the number
+        of stale result messages drained (0 on a clean pool, and on
+        repeated calls).
+        """
         if self._closed:
-            return
+            return 0
         self._closed = True
-        for worker in self._workers.values():
+        workers = list(self._workers.values())
+        for worker in workers:
             try:
                 worker.tasks.put(None)
             except (OSError, ValueError):  # queue already broken/closed
                 pass
-        for worker in self._workers.values():
+        for worker in workers:
             worker.process.join(timeout=join_seconds)
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=join_seconds)
         self._workers.clear()
+        for worker in workers:
+            try:
+                worker.tasks.close()  # both manager-held pipe ends
+            except (OSError, ValueError):
+                pass
+        # Workers are gone; anything still buffered in the result queue
+        # is an abandoned run's leftovers.  Consume it so the queue's
+        # feeder machinery can wind down cleanly via join_thread()
+        # instead of being cancelled with live buffers.
+        drained = 0
+        while True:
+            try:
+                self._results.get_nowait()
+                drained += 1
+            except (Empty, OSError, ValueError):
+                break
         self._results.close()
-        self._results.cancel_join_thread()
+        try:
+            self._results.join_thread()
+        except (OSError, ValueError, AssertionError):
+            pass
+        return drained
 
 
 # ---------------------------------------------------------------------------

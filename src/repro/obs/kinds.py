@@ -43,6 +43,12 @@ Categories
     pool creation — they describe how a sweep was executed, never what
     it computed, so they are excluded from result event digests by
     construction (the per-cell digest is sealed inside the worker).
+``service.*``
+    The benchmark daemon (:mod:`repro.service`): request admission,
+    quota rejections, scheduler batches, and responses.  Like ``pool.*``
+    these are host-side lifecycle events (seconds since the service
+    started) describing how requests were served, never what they
+    computed.
 """
 
 from __future__ import annotations
@@ -64,6 +70,8 @@ __all__ = [
     "POOL_WORKER_BOOT", "POOL_DISPATCH", "POOL_RESULT",
     "POOL_DISPATCH_BATCH", "POOL_RESULT_BATCH", "POOL_STEAL",
     "POOL_WORKER_CRASH", "POOL_DRAIN",
+    "SERVICE_REQUEST", "SERVICE_RESPONSE", "SERVICE_REJECT",
+    "SERVICE_QUOTA_REJECT", "SERVICE_BATCH",
 ]
 
 # -- partitioned lifecycle (entry events; req is in-process only) ----------
@@ -232,3 +240,22 @@ POOL_WORKER_CRASH = SCHEMA.register(
 POOL_DRAIN = SCHEMA.register(
     "pool.drain", ("tasks", "stolen", "crashes"),
     doc="one pool run drained: every streamed result was consumed")
+
+# -- benchmark daemon (repro.service; host-side) ---------------------------
+SERVICE_REQUEST = SCHEMA.register(
+    "service.request", ("client", "priority", "fingerprint"),
+    doc="the scheduler admitted one benchmark request")
+SERVICE_RESPONSE = SCHEMA.register(
+    "service.response", ("client", "fingerprint", "wait_seconds"),
+    doc="one request was answered (wait = admission to completion)")
+SERVICE_REJECT = SCHEMA.register(
+    "service.reject", ("client", "status", "reason"),
+    doc="a request was rejected before scheduling (malformed config, "
+        "bad payload); status is the HTTP-style code")
+SERVICE_QUOTA_REJECT = SCHEMA.register(
+    "service.quota_reject", ("client", "inflight", "limit"),
+    doc="a request exceeded its client's in-flight quota (429)")
+SERVICE_BATCH = SCHEMA.register(
+    "service.batch", ("size", "queued"),
+    doc="the scheduler dispatched one batch of requests to the engine "
+        "(queued = requests still waiting after the batch was cut)")

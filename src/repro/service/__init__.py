@@ -1,0 +1,34 @@
+"""The sweep service: a long-running benchmark daemon over the warm pool.
+
+One process owns the expensive state — the warm
+:class:`~repro.core.pool.WorkerPool` and the content-addressed
+:class:`~repro.core.parallel.ResultCache` — and many clients address it
+over local HTTP/JSON.  The layers, bottom up:
+
+* :mod:`repro.service.protocol` — request validation, config↔payload
+  conversion, structured errors (400/429/…) and response shapes.
+* :mod:`repro.service.scheduler` — admission quotas, the priority
+  queue, and request batching onto :func:`~repro.core.parallel.run_cells`.
+* :mod:`repro.service.server` — the threaded stdlib HTTP front.
+* :mod:`repro.service.client` — the thin stdlib client.
+
+Start one with ``repro serve`` or, programmatically::
+
+    from repro.service import SweepScheduler, serve
+    service = serve(SweepScheduler(cache=cache, pool=pool), port=0)
+    host, port = service.address
+
+See ``docs/service.md`` for the API reference and operational notes.
+"""
+
+from .client import ServiceClient
+from .protocol import (PROTOCOL_VERSION, ProtocolError, QuotaError,
+                       ServiceError, config_from_payload,
+                       payload_from_config, result_to_payload)
+from .scheduler import SchedulerStats, SweepScheduler
+from .server import SweepService, serve
+
+__all__ = ["PROTOCOL_VERSION", "ProtocolError", "QuotaError",
+           "SchedulerStats", "ServiceClient", "ServiceError",
+           "SweepScheduler", "SweepService", "config_from_payload",
+           "payload_from_config", "result_to_payload", "serve"]

@@ -1,0 +1,139 @@
+"""A thin stdlib client for the sweep daemon.
+
+:class:`ServiceClient` speaks the protocol of
+:mod:`repro.service.protocol` over :mod:`urllib.request` — no
+dependencies, no connection pooling, no retries.  It exists so tests,
+:mod:`scripts.load_test`, and notebook users don't hand-roll HTTP:
+
+>>> client = ServiceClient("http://127.0.0.1:8642", client_id="nb")
+>>> client.healthz()["status"]
+'ok'
+>>> payload = client.trial({"message_bytes": 4096, "partitions": 8})
+>>> payload["metrics"]["overhead"]
+
+Server-side rejections come back as the same exception types the
+daemon raised — :class:`~repro.service.protocol.ProtocolError` for a
+400, :class:`~repro.service.protocol.QuotaError` for a 429, plain
+:class:`~repro.service.protocol.ServiceError` otherwise — rebuilt from
+the structured error body, so callers handle local and remote failures
+with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import PtpBenchmarkConfig
+from ..core.runner import PtpResult
+from ..core.wire import decode_result
+from .protocol import (ProtocolError, QuotaError, ServiceError,
+                       config_from_payload, payload_from_config)
+from .server import WIRE_CONTENT_TYPE
+
+__all__ = ["ServiceClient"]
+
+
+def _rebuild_error(status: int, body: bytes) -> ServiceError:
+    """Turn a structured error response back into the exception it was."""
+    try:
+        reason = json.loads(body)["error"]["reason"]
+    except (ValueError, KeyError, TypeError):
+        reason = body.decode("utf-8", "replace") or f"HTTP {status}"
+    if status == 400:
+        return ProtocolError(reason)
+    if status == 429:
+        # QuotaError's constructor wants the server-side numbers, which
+        # the body doesn't carry — build the instance around the reason.
+        error = QuotaError.__new__(QuotaError)
+        ServiceError.__init__(error, reason, status=429)
+        return error
+    return ServiceError(reason, status=status)
+
+
+class ServiceClient:
+    """One daemon endpoint plus the identity requests are billed to."""
+
+    def __init__(self, base_url: str, client_id: str = "anonymous",
+                 timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, path: str, payload: Optional[Dict] = None,
+                 raw: bool = False):
+        data = headers = None
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers = {"Content-Type": "application/json"}
+        request = urllib.request.Request(self.base_url + path, data=data,
+                                         headers=headers or {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raise _rebuild_error(exc.code, exc.read())
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}", status=503)
+        if raw:
+            if content_type != WIRE_CONTENT_TYPE:
+                raise ServiceError(
+                    f"expected a wire frame, got {content_type!r}")
+            return body
+        return json.loads(body)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        """Liveness probe: the daemon's ``GET /healthz`` payload."""
+        return self._request("/healthz")
+
+    def stats(self) -> Dict:
+        """Lifetime counters + cache snapshot from ``GET /stats``."""
+        return self._request("/stats")
+
+    def trial(self, config: Dict, priority: int = 0,
+              samples: bool = False) -> Dict:
+        """Run one cell described by a protocol config dict."""
+        return self._request("/trial", {
+            "config": config, "client": self.client_id,
+            "priority": priority, "samples": samples,
+        })
+
+    def trial_result(self, config: PtpBenchmarkConfig,
+                     priority: int = 0) -> PtpResult:
+        """Run one cell from a live config; decode the binary frame.
+
+        The wire format carries the raw timelines, so the returned
+        :class:`~repro.core.runner.PtpResult` is bit-identical to a
+        local run of the same fingerprint — including the event digest.
+        """
+        frame = self._request("/trial", {
+            "config": payload_from_config(config),
+            "client": self.client_id, "priority": priority,
+            "format": "wire",
+        }, raw=True)
+        return decode_result(config, frame)
+
+    def sweep(self, base: Dict, sizes: Sequence[int],
+              counts: Sequence[int], priority: int = 0,
+              samples: bool = False) -> List[Dict]:
+        """Run a grid; returns the ordered per-cell payload list."""
+        payload = self._request("/sweep", {
+            "base": base, "sizes": list(sizes), "counts": list(counts),
+            "client": self.client_id, "priority": priority,
+            "samples": samples,
+        })
+        return payload["cells"]
+
+
+def _roundtrip_check(payload: Dict) -> Dict:
+    """Validate a config dict client-side (same rules as the daemon)."""
+    return payload_from_config(config_from_payload(payload))

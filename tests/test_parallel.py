@@ -535,3 +535,148 @@ class TestProvenanceRoundTrip:
         for s, p in zip(serial, parallel):
             assert s.trials == p.trials
             assert s.event_digest == p.event_digest
+
+
+# ---------------------------------------------------------------------------
+# Result-plane concurrency regressions
+# ---------------------------------------------------------------------------
+
+class TestResultPlaneConcurrency:
+    def test_stats_does_not_hold_lock_during_disk_count(self, tmp_path,
+                                                        monkeypatch):
+        """stats() must count disk entries outside the cache lock.
+
+        Regression: stats() used to call ``len(self)`` — a glob over the
+        whole shard tree — while holding ``self._lock``, so a slow disk
+        walk (or just a big cache) stalled every concurrent claim/put
+        behind it.  A stats() stuck mid-count must not block claim().
+        """
+        cache = ResultCache(tmp_path / "cache")
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_len(self):
+            entered.set()
+            assert release.wait(30.0), "test never released the count"
+            return 0
+
+        # Dunder lookups go through the type, so patch the class.
+        monkeypatch.setattr(ResultCache, "__len__", slow_len)
+        stats_thread = threading.Thread(target=cache.stats)
+        stats_thread.start()
+        try:
+            assert entered.wait(10.0), "stats() never reached the count"
+            claimed = threading.Event()
+
+            def use_lock():
+                cache.claim("ab" * 32)
+                claimed.set()
+
+            threading.Thread(target=use_lock, daemon=True).start()
+            assert claimed.wait(5.0), \
+                "claim() blocked behind stats()'s disk walk"
+        finally:
+            release.set()
+            stats_thread.join(timeout=10.0)
+
+    def test_join_times_out_on_a_leader_that_never_publishes(self,
+                                                             tmp_path):
+        """A dead leader must not park joiners forever (bounded join)."""
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(), [1024], [1])[0]
+        fingerprint = config_fingerprint(config)
+        assert cache.claim(fingerprint) is None     # leader, never puts
+        flight = cache.claim(fingerprint)
+        t0 = time.monotonic()
+        assert cache.join(flight, config, timeout=0.2) is None
+        assert time.monotonic() - t0 < 5.0
+
+    def test_engine_recomputes_after_join_timeout_and_wakes_stragglers(
+            self, tmp_path):
+        """run_cells falls back to computing when its join times out.
+
+        The recompute's put() must also pop the stale flight and wake
+        any *other* joiner still blocked on it — with the result, and
+        exactly once.
+        """
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(seed=21), [1024], [1])[0]
+        fingerprint = config_fingerprint(config)
+        assert cache.claim(fingerprint) is None     # leader dies silently
+        stale = cache.claim(fingerprint)
+        wakes = []
+        straggler = threading.Thread(
+            target=lambda: wakes.append(
+                cache.join(stale, config, timeout=60.0)))
+        straggler.start()
+
+        results, stats = run_cells([config], jobs=1, cache=cache,
+                                   join_timeout=0.2)
+        straggler.join(timeout=30.0)
+        assert not straggler.is_alive(), "straggler never woke"
+        assert stats.executed == 1                  # the fallback compute
+        assert results[0].event_digest is not None
+        assert wakes == [results[0]] or (
+            wakes[0].event_digest == results[0].event_digest)
+        assert cache.stats()["inflight"] == 0
+        # The flight is gone: a fresh claim leads again.
+        assert cache.claim(fingerprint) is None
+
+    def test_leader_raising_mid_trial_wakes_joiners_exactly_once(
+            self, tmp_path, monkeypatch):
+        """A leader that raises abandons its claims and wakes joiners.
+
+        The leader is a real ``run_cells`` sweep whose trial crashes
+        *while joiners are registered on its claim* — the crash is
+        gated on every joiner having joined, so the abandon path is
+        exercised with real waiters, not an empty flight.
+        """
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(seed=22), [1024], [1])[0]
+        fingerprint = config_fingerprint(config)
+
+        n = 4
+        wakes = []
+        wakes_lock = threading.Lock()
+        registered = threading.Barrier(n + 1)
+
+        def join_one():
+            # Wait for the sweep to claim leadership, then ride it.
+            deadline = time.monotonic() + 30.0
+            while fingerprint not in cache._inflight:
+                assert time.monotonic() < deadline, "leader never claimed"
+                time.sleep(0.001)
+            flight = cache.claim(fingerprint)
+            assert flight is not None
+            registered.wait(timeout=30.0)
+            got = cache.join(flight, config, timeout=60.0)
+            with wakes_lock:
+                wakes.append(got)
+
+        import repro.core.parallel as parallel_mod
+
+        def boom(config, planner=None):
+            # "Mid-trial": the leader holds the claim, every joiner is
+            # blocked on it, and then the trial crashes.
+            registered.wait(timeout=30.0)
+            raise RuntimeError("mid-trial crash")
+
+        monkeypatch.setattr(parallel_mod, "_run_des_cell", boom)
+        joiners = [threading.Thread(target=join_one) for _ in range(n)]
+        for thread in joiners:
+            thread.start()
+
+        # The leader's sweep raises mid-trial; run_cells must abandon.
+        with pytest.raises(RuntimeError):
+            run_cells([config], jobs=1, cache=cache)
+        for thread in joiners:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "joiner never woke"
+        # Exactly one wake per joiner, each with "recompute yourself".
+        assert wakes == [None] * n
+        assert cache.stats()["inflight"] == 0
+        # And the flight is really gone: a fresh sweep leads and runs.
+        monkeypatch.undo()
+        results, stats = run_cells([config], jobs=1, cache=cache)
+        assert stats.executed == 1
+        assert results[0].event_digest is not None

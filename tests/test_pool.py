@@ -1,5 +1,7 @@
 """The persistent worker pool: warm reuse, stealing, crash recovery."""
 
+import time
+
 import pytest
 
 from repro.core import (METRIC_NAMES, PtpBenchmarkConfig, WorkerPool,
@@ -326,3 +328,120 @@ class TestDeferredInlineFallback:
                 .event_digest == run_ptp_benchmark(config).event_digest
         finally:
             p.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Shutdown hygiene: queue draining and fd release
+# ---------------------------------------------------------------------------
+
+class TestShutdownHygiene:
+    def test_shutdown_closes_every_queue_end(self):
+        """shutdown() must close task pipes and wind down the result queue.
+
+        Regression: shutdown() used to leave every worker's SimpleQueue
+        pipe fds open and cancel the result queue's feeder thread with
+        live buffers — a per-pool fd/thread leak once a long-running
+        service starts and stops pools repeatedly.
+        """
+        p = WorkerPool(2)
+        cells = plan_cells(_base(seed=31), [1024, 65536], [1, 4])
+        run_cells(cells, jobs=2, pool=p)
+        workers = list(p._workers.values())
+        assert workers, "the sweep should have spawned workers"
+        drained = p.shutdown()
+        assert isinstance(drained, int)     # the drained-message count
+        for worker in workers:
+            assert worker.tasks._reader.closed
+            assert worker.tasks._writer.closed
+        assert p._results._closed
+        assert p.shutdown() == 0            # idempotent, still an int
+
+    def test_shutdown_on_fresh_pool_drains_nothing(self):
+        p = WorkerPool(1)
+        assert p.shutdown() == 0
+
+    def test_shutdown_under_inflight_sweep_leaves_no_stale_claims(
+            self, tmp_path):
+        """A pool shut down mid-sweep must not strand cache claims.
+
+        The sweep degrades to inline execution and still publishes every
+        result, so the shared cache ends with zero in-flight claims and
+        a full result set.
+        """
+        import threading
+
+        from repro.core import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        cells = plan_cells(_base(seed=32), [1024, 65536], [1, 4])
+        p = WorkerPool(2)
+        outcome = {}
+
+        def sweep():
+            outcome["run"] = run_cells(cells, jobs=2, cache=cache, pool=p)
+
+        runner = threading.Thread(target=sweep)
+        runner.start()
+        # Shut the pool down as soon as the sweep holds its claims.
+        deadline = time.monotonic() + 60.0
+        while not cache._inflight and runner.is_alive():
+            assert time.monotonic() < deadline, "sweep never claimed"
+            time.sleep(0.001)
+        p.shutdown()
+        runner.join(timeout=120.0)
+        assert not runner.is_alive(), "sweep never completed"
+
+        results, stats = outcome["run"]
+        assert len(results) == len(cells)
+        assert all(r.event_digest is not None for r in results)
+        assert cache.stats()["inflight"] == 0
+        # Every cell's result is really in the shared store.
+        for config in cells:
+            assert cache.get(config) is not None
+
+    def test_killed_worker_leader_still_wakes_joiners(self, tmp_path):
+        """A leader whose worker dies must still publish to its joiners.
+
+        Crash recovery reruns the cell inline, so the put() happens and
+        a concurrent sweep's joiner wakes exactly once — with the
+        result, not a timeout.
+        """
+        import threading
+
+        from repro.core import ResultCache, config_fingerprint
+
+        cache = ResultCache(tmp_path / "cache")
+        config = plan_cells(_base(seed=33), [65536], [4])[0]
+        fingerprint = config_fingerprint(config)
+        p = WorkerPool(1)
+        outcome = {}
+        wakes = []
+
+        def joiner():
+            deadline = time.monotonic() + 60.0
+            while fingerprint not in cache._inflight:
+                assert time.monotonic() < deadline, "leader never claimed"
+                time.sleep(0.001)
+            flight = cache.claim(fingerprint)
+            assert flight is not None
+            # Kill the leader's worker while we're registered on the
+            # flight; recovery must still publish a result to us.
+            for worker in list(p._workers.values()):
+                worker.process.kill()
+            wakes.append(cache.join(flight, config, timeout=120.0))
+
+        watcher = threading.Thread(target=joiner)
+        watcher.start()
+        try:
+            outcome["run"] = run_cells([config], jobs=1, cache=cache,
+                                       pool=p)
+        finally:
+            watcher.join(timeout=120.0)
+            p.shutdown()
+        assert not watcher.is_alive(), "joiner never woke"
+
+        results, stats = outcome["run"]
+        assert len(wakes) == 1              # woken exactly once
+        assert wakes[0] is not None, "joiner woke without a result"
+        assert wakes[0].event_digest == results[0].event_digest
+        assert cache.stats()["inflight"] == 0
